@@ -1,0 +1,86 @@
+"""Extension — the non-hydrostatic scenario under the performance model.
+
+Section 6: "The MIT GCM algorithm is designed to apply to a wide
+variety of geophysical fluid problems.  The performance model we have
+derived is valid for all these scenarios."  The non-hydrostatic mode
+replaces the 2-D DS solve with a 3-D Poisson solve whose per-iteration
+communication is an order of magnitude larger (3-D width-1 halos), so
+the PFPP analysis shifts: interconnect quality matters even more.
+"""
+
+import pytest
+
+from repro.core.pfpp import pfpp_ds
+from repro.gcm.ocean import ocean_model
+from repro.network.costmodel import arctic_cost_model, gigabit_ethernet_cost_model
+from repro.parallel.tiling import Decomposition
+
+from _tables import emit, format_table, us
+
+
+def nh_comm_times(cost_model, nz=30, n_ranks=16):
+    """(tgsum, texch 3-D width-1) for the non-hydrostatic solve."""
+    d = Decomposition(128, 64, 4, 4, olx=3)
+    mix = cost_model.name == "Arctic"
+    texch = cost_model.exchange_time(
+        d.edge_bytes(nz=nz, width=1, rank=5), mixmode=mix, n_ranks=n_ranks
+    )
+    n_g = 8 if cost_model.name == "Arctic" else 16
+    tg = cost_model.gsum_time(n_g, smp=mix)
+    return tg, texch
+
+
+def test_bench_nh_pfpp_table(benchmark):
+    """Pfpp of the 3-D solver iteration, per interconnect."""
+    rows = []
+    # counted ~36 flops/cell/iteration over nxyz cells per rank
+    nds3, nxyz = 36, 128 * 64 * 30 // 16
+
+    def build():
+        out = {}
+        for cm in (arctic_cost_model(), gigabit_ethernet_cost_model()):
+            tg, tx = nh_comm_times(cm)
+            out[cm.name] = (tg, tx, pfpp_ds(nds3, nxyz, tg, tx))
+        return out
+
+    out = benchmark(build)
+    for name, (tg, tx, p) in out.items():
+        rows.append([name, us(tg), us(tx), f"{p / 1e6:.1f}"])
+    emit(
+        "ext_nonhydrostatic",
+        format_table(
+            "Extension - non-hydrostatic (3-D) solver iteration, 1 deg-class ocean",
+            ["interconnect", "tgsum (us)", "texch 3-D w1 (us)", "Pfpp,3-D solve (MF/s)"],
+            rows,
+        ),
+    )
+    # Arctic keeps the 3-D solve compute-bound; GE cannot
+    assert out["Arctic"][2] > 60e6
+    assert out["Gigabit Ethernet"][2] < 60e6
+
+
+def test_bench_nh_step_cost_breakdown(benchmark):
+    """End-to-end: the measured virtual cost of hydrostatic vs
+    non-hydrostatic steps of the same configuration."""
+
+    def run(nonhydro):
+        m = ocean_model(
+            nx=32, ny=16, nz=6, px=2, py=2, dt=600.0, nonhydrostatic=nonhydro
+        )
+        m.run(4)
+        return m.performance_breakdown()
+
+    bd_nh = benchmark.pedantic(run, args=(True,), rounds=1, iterations=1)
+    bd_h = run(False)
+    emit(
+        "ext_nonhydrostatic_cost",
+        format_table(
+            "Extension - step cost, hydrostatic vs non-hydrostatic (virtual ms)",
+            ["quantity", "hydrostatic", "non-hydrostatic"],
+            [
+                ["t_step (ms)", f"{bd_h['t_step'] * 1e3:.2f}", f"{bd_nh['t_step'] * 1e3:.2f}"],
+                ["solver Ni (2-D)", f"{bd_h['ni']:.0f}", f"{bd_nh['ni']:.0f}"],
+            ],
+        ),
+    )
+    assert bd_nh["t_step"] > 2 * bd_h["t_step"]

@@ -1,0 +1,65 @@
+"""Fig. 10 — sustained performance of the ocean isomorph.
+
+Regenerates the table: vector-machine reference rows plus the Hyades
+rows computed from the performance model, and cross-checks the computed
+single-processor rate against a real (small) serial integration's
+flop-weighted rate.
+"""
+
+import pytest
+
+from repro.core.constants import HYADES_16CPU_SUSTAINED, HYADES_1CPU_SUSTAINED
+from repro.core.sustained import fig10_table, hyades_sustained
+
+from _tables import emit, format_table
+
+
+def test_bench_hyades_rows(benchmark):
+    res = benchmark(hyades_sustained, 16)
+    assert 0.55e9 < res.sustained_flops < 0.9e9
+
+
+def test_bench_fig10_table(benchmark):
+    rows = benchmark(fig10_table)
+    table = []
+    for r in rows:
+        paper = r.get("paper_gflops")
+        table.append(
+            [
+                r["machine"],
+                r["processors"],
+                f"{r['sustained_gflops']:.3f}",
+                f"{paper:.3f}" if paper else "-",
+                r["source"],
+            ]
+        )
+    emit(
+        "fig10_sustained",
+        format_table(
+            "Fig. 10 - sustained GFlop/s, ocean isomorph (coarse resolution)",
+            ["machine", "CPUs", "GFlop/s", "paper", "source"],
+            table,
+        ),
+    )
+    ours = {(r["machine"], r["processors"]): r["sustained_gflops"] for r in rows}
+    assert ours[("Hyades", 1)] == pytest.approx(HYADES_1CPU_SUSTAINED / 1e9, rel=0.08)
+    # shape: 16-CPU Hyades comparable to a single vector CPU, well below
+    # a 4-CPU vector machine
+    assert ours[("Cray Y-MP", 1)] * 0.8 < ours[("Hyades", 16)] < ours[("Cray C90", 4)]
+    # parallel speedup near the paper's "fifteen times"
+    assert 10 < ours[("Hyades", 16)] / ours[("Hyades", 1)] < 16
+
+
+def test_bench_speedup_vs_gcm_run(benchmark):
+    """Cross-check: the lockstep-runtime GCM on 16 vs 1 ranks shows the
+    same speedup regime as the model-derived Fig. 10 rows."""
+    from repro.gcm.ocean import ocean_model
+
+    def run(px, py, cpn):
+        m = ocean_model(nx=64, ny=32, nz=8, px=px, py=py, dt=900.0, cpus_per_node=cpn)
+        m.run(3)
+        return m.runtime.sustained_flops()
+
+    s16 = benchmark.pedantic(run, args=(4, 4, 2), rounds=1, iterations=1)
+    s1 = run(1, 1, 1)
+    assert 6 < s16 / s1 < 16.5

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Non-hydrostatic convection — the kernel beyond climate scales.
+
+Section 3: the MIT GCM "can be applied to a wide variety of processes
+ranging from non-hydrostatic rotating fluid dynamics [ocean convection,
+refs 15, 22] to the large-scale general circulation".  This example
+exercises the reproduction's non-hydrostatic extension on the classic
+convection problem: a dense (cold) surface anomaly over a small, deep
+domain.  The hydrostatic model adjusts w instantaneously; the
+non-hydrostatic model gives the plume inertia, and the 3-D pressure
+solve keeps the full velocity field non-divergent.
+
+Run:  python examples/nonhydrostatic_convection.py
+"""
+
+import numpy as np
+
+from repro.gcm import diagnostics as diag
+from repro.gcm.nonhydrostatic import divergence3
+from repro.gcm.ocean import ocean_model
+from repro.parallel.exchange import exchange_halos
+
+
+def chimney_model(nonhydrostatic: bool):
+    from repro.gcm.grid import GridParams
+
+    # a genuinely small, deep box: ~100 km x 50 km x 1.2 km (dx ~ 7 km),
+    # the scale at which the hydrostatic approximation starts to strain
+    grid = GridParams(
+        nx=16, ny=8, nz=12, lat0=60.0, lat1=60.45, lon0=0.0, lon1=1.8,
+        total_depth=1200.0,
+    )
+    from repro.gcm.prognostic import DynamicsParams
+
+    m = ocean_model(
+        nx=16, ny=8, nz=12, px=2, py=2, dt=300.0,
+        nonhydrostatic=nonhydrostatic, physics=None, cg_tol=1e-10,
+        grid=grid,
+        # mixing scaled to the 7-km grid (the climate defaults would
+        # violate the diffusive CFL here)
+        dynamics=DynamicsParams(ah=50.0, az=1e-3, kh=20.0, kz=1e-5),
+    )
+    # uniform stratification + a cold chimney in the center
+    th = m.state.to_global("theta")
+    z = m.grid.z_center
+    for k in range(12):
+        th[k] = 15.0 + 8.0 * (z[k] / 1200.0)  # warm top, cold bottom (stable)
+    th[0:2, 3:5, 6:10] -= 6.0  # surface cold anomaly: statically unstable
+    m.state.set_from_global("theta", th)
+    return m
+
+
+def main() -> None:
+    runs = {"hydrostatic": chimney_model(False), "non-hydrostatic": chimney_model(True)}
+    steps = 24
+
+    for name, m in runs.items():
+        m.run(steps)
+        assert diag.is_finite(m)
+        w = m.state.to_global("w")
+        print(f"{name:16s}: max|w| = {np.abs(w).max() * 1e3:7.3f} mm/s, "
+              f"min w = {w.min() * 1e3:7.3f} mm/s (negative = sinking), "
+              f"Ni = {m.history[-1].ni}"
+              + (f", Ni_nh = {m.history[-1].ni_nh}" if name.startswith("non") else ""))
+
+    nh = runs["non-hydrostatic"]
+    u = [a.copy() for a in nh.state["u"]]
+    v = [a.copy() for a in nh.state["v"]]
+    w = [a.copy() for a in nh.state["w"]]
+    for f in (u, v, w):
+        exchange_halos(nh.decomp, f, width=1)
+    d3 = divergence3(nh.nh_operator, u, v, w)
+    print(f"\nnon-hydrostatic 3-D divergence residual: {d3:.3e} m^3/s "
+          "(zero to solver tolerance)")
+
+    # the plume: horizontally-averaged vertical velocity under the anomaly
+    w_nh = nh.state.to_global("w")
+    from repro.viz import profile_bars
+
+    plume = w_nh[:, 3:5, 6:10].mean(axis=(1, 2))
+    labels = [f"z={z:6.0f} m" for z in nh.grid.z_top]
+    print()
+    print(profile_bars(plume * 1e3, labels=labels,
+                       title="plume profile (mean w under the anomaly, mm/s):"))
+
+    print("\ncost of resolving convection (virtual time per step):")
+    for name, m in runs.items():
+        bd = m.performance_breakdown()
+        print(f"  {name:16s}: {bd['t_step'] * 1e3:7.2f} ms/step")
+    print("the 3-D solve's extra global sums/exchanges are the price of the "
+          "general kernel — the performance model of Section 5.2 covers it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Ensemble predictability study — the science case for a personal
+supercomputer.
+
+Section 5: "The configuration is especially well suited to
+predictability studies of the contemporary climate."  Such studies run
+ensembles of simulations from slightly perturbed initial conditions and
+watch the error grow — exactly the "spontaneous, exploratory numerical
+experimentation" (Section 1) that a dedicated, queue-free cluster
+enables.  This example integrates a small ensemble, measures the
+divergence growth between members, and prices the ensemble in virtual
+Hyades time.
+
+Run:  python examples/predictability_study.py
+"""
+
+import numpy as np
+
+from repro.gcm import diagnostics as diag
+from repro.gcm.atmosphere import atmosphere_model
+
+
+def build_member(seed: int):
+    m = atmosphere_model(nx=48, ny=24, nz=5, px=2, py=2, dt=300.0)
+    if seed:
+        rng = np.random.default_rng(seed)
+        th = m.state.to_global("theta")
+        th += 1e-3 * rng.standard_normal(th.shape)  # 1 mK noise
+        m.state.set_from_global("theta", th)
+    return m
+
+
+def rms_difference(a, b, name="theta") -> float:
+    fa, fb = a.state.to_global(name), b.state.to_global(name)
+    return float(np.sqrt(np.mean((fa - fb) ** 2)))
+
+
+def main() -> None:
+    n_members = 3
+    members = [build_member(seed) for seed in range(n_members)]
+    control = members[0]
+    print(f"{n_members}-member ensemble, 48x24x5 atmosphere, 1 mK initial noise\n")
+
+    checkpoints = []
+    hours_per_block = 5
+    steps_per_block = hours_per_block * 12  # dt = 300 s
+    for block in range(6):
+        for m in members:
+            m.run(steps_per_block)
+        spread = [rms_difference(control, m) for m in members[1:]]
+        checkpoints.append((control.state.time / 3600.0, max(spread)))
+        print(
+            f"t = {control.state.time / 3600.0:5.1f} h: "
+            f"max theta spread = {max(spread):.3e} K, "
+            f"KE(control) = {diag.total_kinetic_energy(control):.3e}"
+        )
+
+    for m in members:
+        assert diag.is_finite(m)
+
+    t0, s0 = checkpoints[0]
+    t1, s1 = checkpoints[-1]
+    growth = s1 / max(s0, 1e-300)
+    print(f"\nspread evolution over {t1 - t0:.0f} h: x{growth:.2f}")
+    print("(at this coarse resolution with strong relaxation, error growth")
+    print(" saturates on multi-day timescales — extend the blocks to watch")
+    print(" the baroclinic divergence develop)")
+
+    # the 'personal supercomputer' ledger
+    total_virtual = sum(m.runtime.elapsed for m in members)
+    print("\n--- ensemble cost on Hyades (virtual) ---")
+    print(f"member wall-clock   : {members[0].runtime.elapsed:.3f} s of cluster time each")
+    print(f"ensemble total      : {total_virtual:.3f} s — run back-to-back, zero queue wait")
+    print("on a shared machine every member would queue separately; on the")
+    print("personal supercomputer the turn-around is simply the CPU time (Sec. 6).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim for legacy editable installs (offline environments without the
+``wheel`` package cannot use PEP 660 editable wheels)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,21 @@
+"""Reproduction of "A Personal Supercomputer for Climate Research"
+(Hoe, Hill & Adcroft, SC'99 / MIT CSG Memo 425).
+
+The package rebuilds the paper's entire stack as a calibrated
+simulation: the Hyades cluster hardware (Arctic fat tree + StarT-X NIUs
+over a PCI cost model), the application-specific communication
+primitives, the MIT GCM finite-volume kernel with its atmosphere and
+ocean isomorphs, and the analytical performance model with the
+Potential Floating-Point Performance (PFPP) metric.
+
+Layering (each package depends only on those before it)::
+
+    sim -> network -> niu -> hardware -> parallel -> gcm -> core
+
+See README.md for a tour, DESIGN.md for the system inventory and
+substitutions, and EXPERIMENTS.md for the paper-vs-reproduction record.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,121 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``report [sections...]`` — regenerate the paper's headline tables
+  (Fig. 2, Fig. 10, Fig. 12, Section 5.3) from the simulation/models.
+* ``run`` — a short ocean integration with live diagnostics.
+* ``microbench`` — the network microbenchmarks on the DES cluster.
+* ``pfpp`` — the interconnect study (Fig. 12 + verdicts).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.report import SECTIONS, render_report
+
+    keys = args.sections or None
+    try:
+        print(render_report(keys))
+    except KeyError as e:
+        print(e, file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.gcm import diagnostics as diag
+    from repro.gcm.ocean import ocean_model
+
+    model = ocean_model(
+        nx=args.nx, ny=args.ny, nz=args.nz, px=args.px, py=args.py, dt=args.dt
+    )
+    print(
+        f"ocean {args.nx}x{args.ny}x{args.nz} on {model.decomp.n_ranks} ranks; "
+        f"{args.steps} steps of dt={args.dt}s"
+    )
+    for k in range(args.steps):
+        s = model.step()
+        if (k + 1) % max(args.steps // 8, 1) == 0:
+            print(
+                f"  step {k + 1:4d}: Ni={s.ni:3d} "
+                f"KE={diag.total_kinetic_energy(model):.3e} "
+                f"CFL={diag.max_cfl(model):.3f}"
+            )
+    if not diag.is_finite(model):
+        print("model state went non-finite", file=sys.stderr)
+        return 1
+    summ = model.runtime.summary()
+    print(
+        f"virtual elapsed {summ['elapsed'] * 1e3:.1f} ms; sustained "
+        f"{summ['sustained_flops'] / 1e6:.1f} MFlop/s"
+    )
+    return 0
+
+
+def _cmd_century(_args: argparse.Namespace) -> int:
+    """The Section 6 projection: a century-long coupled run."""
+    from repro.core.constants import VALIDATION
+    from repro.core.perf_model import DSPhaseParams, PerformanceModel, PSPhaseParams
+    from repro.core.constants import ATM_PS_PARAMS, DS_PARAMS
+
+    pm = PerformanceModel(
+        PSPhaseParams.from_ref(ATM_PS_PARAMS), DSPhaseParams.from_ref(DS_PARAMS)
+    )
+    year = pm.trun(VALIDATION.nt, VALIDATION.ni)
+    print(f"one model year (2.8125 deg atmosphere): {year / 60:.0f} minutes")
+    print(f"a century:                              {100 * year / 86400:.1f} days")
+    print('paper, Section 6: "a century long synchronous climate simulation ...')
+    print(' can be completed within a two week period."')
+    return 0
+
+
+def _cmd_pfpp(_args: argparse.Namespace) -> int:
+    from repro.core.pfpp import fig12_table
+
+    print(f"{'interconnect':20s} {'Pfpp,ps':>10s} {'Pfpp,ds':>10s}")
+    for r in fig12_table(from_models=True):
+        print(f"{r.name:20s} {r.pfpp_ps / 1e6:9.1f}M {r.pfpp_ds / 1e6:9.2f}M")
+    print("(reference compute rates: Fps=50M, Fds=60M flop/s)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Parse arguments and dispatch to the chosen subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SC'99 'Personal Supercomputer for Climate Research' reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_report = sub.add_parser("report", help="regenerate the headline paper tables")
+    p_report.add_argument("sections", nargs="*", help="fig2 fig7 fig8 fig10 fig11 fig12 sec53")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_run = sub.add_parser("run", help="short ocean integration")
+    p_run.add_argument("--nx", type=int, default=64)
+    p_run.add_argument("--ny", type=int, default=32)
+    p_run.add_argument("--nz", type=int, default=8)
+    p_run.add_argument("--px", type=int, default=2)
+    p_run.add_argument("--py", type=int, default=2)
+    p_run.add_argument("--dt", type=float, default=1200.0)
+    p_run.add_argument("--steps", type=int, default=24)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_pfpp = sub.add_parser("pfpp", help="interconnect PFPP summary")
+    p_pfpp.set_defaults(func=_cmd_pfpp)
+
+    p_century = sub.add_parser("century", help="the Section 6 century projection")
+    p_century.set_defaults(func=_cmd_century)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Model fitting, as the paper does it.
+
+Section 4.2: "A least-squares fit to these measurements is
+tgsum = (4.67 log2 N - 0.95) usec."  This module reproduces that
+methodology: fit the same two-parameter model to global-sum latencies
+(ours measured on the simulated hardware) and to bandwidth curves, so
+the reproduction derives its fits the way the paper derived its own.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """y = slope * x + offset with the fit's residual norm."""
+
+    slope: float
+    offset: float
+    rms_residual: float
+
+    def __call__(self, x: float) -> float:
+        """Evaluate the fitted line."""
+        return self.slope * x + self.offset
+
+
+def least_squares(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares for y = a x + b (closed form)."""
+    n = len(xs)
+    if n != len(ys) or n < 2:
+        raise ValueError("need at least two (x, y) pairs")
+    sx = sum(xs)
+    sy = sum(ys)
+    sxx = sum(x * x for x in xs)
+    sxy = sum(x * y for x, y in zip(xs, ys))
+    denom = n * sxx - sx * sx
+    if denom == 0:
+        raise ValueError("degenerate x values")
+    slope = (n * sxy - sx * sy) / denom
+    offset = (sy - slope * sx) / n
+    rms = math.sqrt(
+        sum((slope * x + offset - y) ** 2 for x, y in zip(xs, ys)) / n
+    )
+    return LinearFit(slope, offset, rms)
+
+
+def fit_gsum_model(latencies: Mapping[int, float]) -> LinearFit:
+    """Fit ``tgsum = slope * log2(N) + offset`` (the paper's form).
+
+    ``latencies`` maps node count N (power of two) to seconds.  The
+    paper's own fit over its measurements is slope = 4.67 us,
+    offset = -0.95 us.
+    """
+    xs, ys = [], []
+    for n, t in sorted(latencies.items()):
+        if n < 2 or n & (n - 1):
+            raise ValueError(f"node counts must be powers of two >= 2, got {n}")
+        xs.append(math.log2(n))
+        ys.append(t)
+    return least_squares(xs, ys)
+
+
+def fit_bandwidth_model(samples: Mapping[int, float]) -> tuple[float, float]:
+    """Fit ``t(s) = overhead + s / bandwidth`` to transfer times.
+
+    ``samples`` maps block size (bytes) to transfer seconds.  Returns
+    ``(overhead_seconds, bandwidth_bytes_per_s)`` — the two constants of
+    the paper's Fig. 7 curve (8.6 us, 110 MB/s).
+    """
+    fit = least_squares(list(samples.keys()), list(samples.values()))
+    if fit.slope <= 0:
+        raise ValueError("non-physical fit: bandwidth must be positive")
+    return fit.offset, 1.0 / fit.slope

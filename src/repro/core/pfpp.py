@@ -1,0 +1,150 @@
+"""Potential Floating-Point Performance (paper Section 5.4, eqs. 14-15).
+
+Pfpp is the per-processor floating-point rate an application *would*
+sustain if computation took zero time — i.e. the ceiling the
+interconnect imposes:
+
+    Pfpp,ps = Nps nxyz / (5 texchxyz)                      (14)
+    Pfpp,ds = Nds nxy  / (2 tgsum + 2 texchxy)             (15)
+
+If Pfpp greatly exceeds the processor's compute rate, buying faster
+CPUs helps; if Pfpp is *below* it, only a better interconnect can.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.constants import ATM_PS_PARAMS, DS_PARAMS, FIG12_PAPER
+from repro.network.costmodel import (
+    CommCostModel,
+    arctic_cost_model,
+    fast_ethernet_cost_model,
+    gigabit_ethernet_cost_model,
+)
+from repro.parallel.tiling import Decomposition
+
+
+def pfpp_ps(nps: float, nxyz: int, texchxyz: float) -> float:
+    """Eq. (14): PS-phase potential rate, flops/s."""
+    if texchxyz <= 0:
+        raise ValueError("texchxyz must be positive")
+    return nps * nxyz / (5.0 * texchxyz)
+
+
+def pfpp_ds(nds: float, nxy: int, tgsum: float, texchxy: float) -> float:
+    """Eq. (15): DS-phase potential rate, flops/s."""
+    denom = 2.0 * tgsum + 2.0 * texchxy
+    if denom <= 0:
+        raise ValueError("communication times must be positive")
+    return nds * nxy / denom
+
+
+def ds_comm_budget(nds: float, nxy: int, target_flops: float) -> float:
+    """Max tgsum + texchxy for Pfpp,ds to reach ``target_flops``.
+
+    Section 5.4: for 60 MFlop/s at the reference configuration the sum
+    cannot exceed 306 us.
+    """
+    return nds * nxy / (2.0 * target_flops)
+
+
+@dataclass(frozen=True)
+class Fig12Row:
+    """One interconnect's row of Fig. 12."""
+
+    name: str
+    tgsum: float
+    texchxy: float
+    texchxyz: float
+    pfpp_ps: float
+    pfpp_ds: float
+    fps: float = 50e6
+    fds: float = 60e6
+
+
+def interconnect_comm_times(
+    model: CommCostModel,
+    n_ranks: int = 16,
+    n_smps: int = 8,
+    mixmode: bool = True,
+) -> tuple[float, float, float]:
+    """(tgsum, texchxy, texchxyz) for the reference 2.8125-deg atmosphere.
+
+    Arctic uses the tailored primitives (hierarchical SMP global sum over
+    the masters, mix-mode exchange, DS on one tile per SMP); the
+    Ethernet baselines use MPI over all ranks (flat 16-way gsum, halo-1
+    2-D exchange on the PS tiles), matching how the paper measured each.
+    """
+    ps_decomp = Decomposition(128, 64, 4, 4, olx=3)
+    if model.name == "Arctic":
+        tgsum = model.gsum_time(n_smps, smp=mixmode)
+        ds_decomp = Decomposition(128, 64, 2, 4, olx=1)
+        ds_rank = max(
+            range(ds_decomp.n_ranks),
+            key=lambda r: sum(ds_decomp.edge_bytes(nz=1, width=1, rank=r)),
+        )
+        texchxy = model.exchange_time(
+            ds_decomp.edge_bytes(nz=1, width=1, rank=ds_rank), mixmode=False
+        )
+        texchxyz = model.exchange_time(
+            ps_decomp.edge_bytes(nz=10, rank=5), mixmode=True
+        )
+    else:
+        tgsum = model.gsum_time(n_ranks)
+        texchxy = model.exchange_time(
+            ps_decomp.edge_bytes(nz=1, width=1, rank=5), n_ranks=n_ranks
+        )
+        texchxyz = model.exchange_time(
+            ps_decomp.edge_bytes(nz=10, rank=5), n_ranks=n_ranks
+        )
+    return tgsum, texchxy, texchxyz
+
+
+def fig12_table(
+    nps: float = ATM_PS_PARAMS.nps,
+    nxyz: int = ATM_PS_PARAMS.nxyz,
+    nds: float = DS_PARAMS.nds,
+    nxy: int = DS_PARAMS.nxy,
+    from_models: bool = True,
+) -> list[Fig12Row]:
+    """Build Fig. 12 for FE / GE / Arctic.
+
+    ``from_models=True`` computes tgsum/texch from the interconnect cost
+    models (the reproduction's own numbers); ``False`` uses the paper's
+    measured values verbatim.  Either way the Pfpp columns come from
+    eqs. (14)-(15).
+    """
+    rows = []
+    if from_models:
+        sources: Mapping[str, CommCostModel] = {
+            "Fast Ethernet": fast_ethernet_cost_model(),
+            "Gigabit Ethernet": gigabit_ethernet_cost_model(),
+            "Arctic": arctic_cost_model(),
+        }
+        for name, cm in sources.items():
+            tg, t2, t3 = interconnect_comm_times(cm)
+            rows.append(
+                Fig12Row(
+                    name=name,
+                    tgsum=tg,
+                    texchxy=t2,
+                    texchxyz=t3,
+                    pfpp_ps=pfpp_ps(nps, nxyz, t3),
+                    pfpp_ds=pfpp_ds(nds, nxy, tg, t2),
+                )
+            )
+    else:
+        for name, vals in FIG12_PAPER.items():
+            rows.append(
+                Fig12Row(
+                    name=name,
+                    tgsum=vals["tgsum"],
+                    texchxy=vals["texchxy"],
+                    texchxyz=vals["texchxyz"],
+                    pfpp_ps=pfpp_ps(nps, nxyz, vals["texchxyz"]),
+                    pfpp_ds=pfpp_ds(nds, nxy, vals["tgsum"], vals["texchxy"]),
+                )
+            )
+    return rows

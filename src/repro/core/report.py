@@ -1,0 +1,221 @@
+"""One-call reproduction report: every paper table, regenerated.
+
+Used by the command-line interface (``python -m repro report``) and by
+downstream users who want the whole evaluation as data rather than as
+benchmark output files.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.core.constants import (
+    ATM_PS_PARAMS,
+    DS_PARAMS,
+    FIG2_PAPER,
+    FIG12_PAPER,
+    VALIDATION,
+)
+from repro.core.logp import fig2_table
+from repro.core.pfpp import fig12_table
+from repro.core.sustained import fig10_table
+from repro.core.validation import section53_validation
+
+US = 1e-6
+MIN = 60.0
+
+
+@dataclass
+class ReportSection:
+    """One reproduced table: a title, column headers, and rows."""
+
+    key: str
+    title: str
+    headers: list[str]
+    rows: list[list[str]]
+
+    def render(self) -> str:
+        """Format the section as an aligned text table."""
+        widths = [len(h) for h in self.headers]
+        rows = [[str(c) for c in r] for r in self.rows]
+        for r in rows:
+            for i, c in enumerate(r):
+                widths[i] = max(widths[i], len(c))
+        out = [self.title, "=" * len(self.title)]
+        out.append("  ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        out.append("  ".join("-" * w for w in widths))
+        for r in rows:
+            out.append("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+        return "\n".join(out)
+
+
+def _fig2_section() -> ReportSection:
+    rows = []
+    for r in fig2_table(measured=True):
+        rows.append(
+            [
+                f"{r['payload_bytes']} B",
+                f"{r['os'] / US:.2f} ({r['paper_os'] / US:.1f})",
+                f"{r['or'] / US:.2f} ({r['paper_or'] / US:.1f})",
+                f"{r['half_rtt'] / US:.2f} ({r['paper_half_rtt'] / US:.1f})",
+                f"{r['latency'] / US:.2f} ({r['paper_latency'] / US:.1f})",
+            ]
+        )
+    return ReportSection(
+        "fig2",
+        "Fig. 2 - LogP of PIO messaging, DES (paper), usec",
+        ["payload", "Os", "Or", "Trt/2", "Lnet"],
+        rows,
+    )
+
+
+def _fig10_section() -> ReportSection:
+    rows = []
+    for r in fig10_table():
+        rows.append(
+            [
+                r["machine"],
+                str(r["processors"]),
+                f"{r['sustained_gflops']:.3f}",
+                f"{r['paper_gflops']:.3f}" if "paper_gflops" in r else "-",
+            ]
+        )
+    return ReportSection(
+        "fig10",
+        "Fig. 10 - sustained GFlop/s, ocean isomorph",
+        ["machine", "CPUs", "GFlop/s", "paper"],
+        rows,
+    )
+
+
+def _fig12_section() -> ReportSection:
+    rows = []
+    for r in fig12_table(from_models=True):
+        ref = FIG12_PAPER[r.name]
+        rows.append(
+            [
+                r.name,
+                f"{r.tgsum / US:.1f} ({ref['tgsum'] / US:.1f})",
+                f"{r.texchxy / US:.1f} ({ref['texchxy'] / US:.1f})",
+                f"{r.texchxyz / US:.1f} ({ref['texchxyz'] / US:.1f})",
+                f"{r.pfpp_ps / 1e6:.1f} ({ref['pfpp_ps'] / 1e6:.0f})",
+                f"{r.pfpp_ds / 1e6:.2f} ({ref['pfpp_ds'] / 1e6:.1f})",
+            ]
+        )
+    return ReportSection(
+        "fig12",
+        "Fig. 12 - PFPP per interconnect, model (paper)",
+        ["interconnect", "tgsum us", "texchxy us", "texchxyz us", "Pfpp,ps MF/s", "Pfpp,ds MF/s"],
+        rows,
+    )
+
+
+def _sec53_section() -> ReportSection:
+    rep = section53_validation()
+    rows = [
+        ["Tcomm (min)", f"{rep.tcomm / MIN:.1f}", "30.1"],
+        ["Tcomp (min)", f"{rep.tcomp / MIN:.1f}", "151"],
+        ["predicted (min)", f"{rep.predicted_total / MIN:.0f}", "181"],
+        ["observed (min)", f"{rep.observed / MIN:.0f}", "183"],
+        ["error", f"{rep.relative_error * 100:+.1f}%", "~-1%"],
+    ]
+    return ReportSection(
+        "sec53",
+        "Section 5.3 - one-year validation (Nt=77760, Ni=60)",
+        ["quantity", "reproduction", "paper"],
+        rows,
+    )
+
+
+def _fig7_section() -> ReportSection:
+    from repro.network.costmodel import arctic_cost_model
+    from repro.parallel.des_collectives import des_transfer_bandwidth
+
+    model = arctic_cost_model()
+    rows = []
+    for s in (256, 1024, 4096, 9216, 32768, 131072):
+        rows.append(
+            [
+                str(s),
+                f"{des_transfer_bandwidth(s) / 1e6:.1f}",
+                f"{model.perceived_bandwidth(s) / 1e6:.1f}",
+            ]
+        )
+    return ReportSection(
+        "fig7",
+        "Fig. 7 - VI transfer bandwidth vs block size (MB/s)",
+        ["block (B)", "DES", "model"],
+        rows,
+    )
+
+
+def _fig8_section() -> ReportSection:
+    from repro.hardware.cluster import HyadesCluster
+    from repro.network.costmodel import ARCTIC_GSUM_MEASURED
+    from repro.parallel.des_collectives import des_global_sum
+
+    rows = []
+    for n in (2, 4, 8, 16):
+        _, t = des_global_sum(HyadesCluster(), [1.0] * n)
+        rows.append(
+            [f"{n}-way", f"{t / US:.1f}", f"{ARCTIC_GSUM_MEASURED[n] / US:.1f}"]
+        )
+    return ReportSection(
+        "fig8",
+        "Section 4.2 - butterfly global sum latency (usec)",
+        ["config", "DES", "paper"],
+        rows,
+    )
+
+
+def _fig11_section() -> ReportSection:
+    from repro.core.constants import OCN_PS_PARAMS
+    from repro.core.pfpp import interconnect_comm_times
+    from repro.network.costmodel import arctic_cost_model
+    from repro.parallel.tiling import Decomposition
+
+    cm = arctic_cost_model()
+    ps = Decomposition(128, 64, 4, 4, olx=3)
+    tg, t2, t3_atm = interconnect_comm_times(cm)
+    t3_ocn = cm.exchange_time(ps.edge_bytes(nz=30, rank=5), mixmode=True)
+    rows = [
+        ["texchxyz atmos (us)", f"{t3_atm / US:.0f}", f"{ATM_PS_PARAMS.texchxyz / US:.0f}"],
+        ["texchxyz ocean (us)", f"{t3_ocn / US:.0f}", f"{OCN_PS_PARAMS.texchxyz / US:.0f}"],
+        ["texchxy (us)", f"{t2 / US:.0f}", f"{DS_PARAMS.texchxy / US:.0f}"],
+        ["tgsum 2x8 (us)", f"{tg / US:.1f}", f"{DS_PARAMS.tgsum / US:.1f}"],
+        ["nxyz atm/ocn", "5120 / 15360", "5120 / 15360"],
+        ["nxy", "1024", "1024"],
+    ]
+    return ReportSection(
+        "fig11",
+        "Fig. 11 - performance model parameters, model (paper)",
+        ["parameter", "reproduction", "paper"],
+        rows,
+    )
+
+
+#: Registry of report builders, in paper order.
+SECTIONS: dict[str, Callable[[], ReportSection]] = {
+    "fig2": _fig2_section,
+    "fig7": _fig7_section,
+    "fig8": _fig8_section,
+    "fig10": _fig10_section,
+    "fig11": _fig11_section,
+    "fig12": _fig12_section,
+    "sec53": _sec53_section,
+}
+
+
+def build_report(keys: Optional[list[str]] = None) -> list[ReportSection]:
+    """Build the requested sections (all, by default)."""
+    selected = keys or list(SECTIONS)
+    unknown = [k for k in selected if k not in SECTIONS]
+    if unknown:
+        raise KeyError(f"unknown report sections: {unknown}; have {list(SECTIONS)}")
+    return [SECTIONS[k]() for k in selected]
+
+
+def render_report(keys: Optional[list[str]] = None) -> str:
+    """Render the requested sections as one text report."""
+    return "\n\n".join(s.render() for s in build_report(keys))

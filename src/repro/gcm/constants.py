@@ -1,0 +1,30 @@
+"""Physical constants for the planetary fluid isomorphs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PhysicalConstants:
+    """Planetary and thermodynamic constants."""
+
+    radius: float = 6.371e6  # planetary radius, m
+    omega: float = 7.2921e-5  # rotation rate, rad/s
+    gravity: float = 9.81  # m/s^2
+    rho0: float = 1035.0  # Boussinesq reference density (ocean), kg/m^3
+    rho_air: float = 1.2  # surface air density, kg/m^3
+    cp_ocean: float = 3994.0  # J/kg/K
+    cp_air: float = 1004.0  # J/kg/K
+    theta_ref: float = 300.0  # reference potential temperature (atmos), K
+    latent_heat: float = 2.5e6  # J/kg
+
+    def coriolis(self, lat_rad) -> "float":
+        """Coriolis parameter f = 2 Omega sin(phi)."""
+        import numpy as np
+
+        return 2.0 * self.omega * np.sin(lat_rad)
+
+
+#: Default Earth constants.
+EARTH = PhysicalConstants()

@@ -1,0 +1,85 @@
+"""Model diagnostics: conservation, balance and stability measures."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.gcm.operators import FlopCounter
+from repro.gcm.pressure import EllipticOperator
+from repro.gcm.timestepper import Model
+
+
+def depth_integrated_divergence(model: Model) -> float:
+    """Max |div <U>| (m^3/s) of the current velocity field.
+
+    After the DS correction the depth-integrated flow should be
+    non-divergent (eq. 2) to solver tolerance.
+    """
+    fc = FlopCounter()
+    ell = EllipticOperator(model.grid) if model.ds_grid is not model.grid else model.elliptic
+    uints, vints = [], []
+    from repro.parallel.exchange import exchange_halos
+
+    u_t = [a.copy() for a in model.state["u"]]
+    v_t = [a.copy() for a in model.state["v"]]
+    exchange_halos(model.decomp, u_t)
+    exchange_halos(model.decomp, v_t)
+    for r in range(model.decomp.n_ranks):
+        ui, vi = ell.depth_integrate(r, u_t[r], v_t[r], fc)
+        uints.append(ui)
+        vints.append(vi)
+    divs = ell.divergence(uints, vints)
+    o = model.decomp.olx
+    worst = 0.0
+    for r, t in enumerate(model.decomp.tiles):
+        worst = max(worst, float(np.abs(divs[r][o : o + t.ny, o : o + t.nx]).max()))
+    return worst
+
+
+def total_kinetic_energy(model: Model) -> float:
+    """Volume-integrated 0.5 (u^2 + v^2), J/kg * m^3."""
+    total = 0.0
+    o = model.decomp.olx
+    for r, t in enumerate(model.decomp.tiles):
+        sl3 = (slice(None), slice(o, o + t.ny), slice(o, o + t.nx))
+        vol = model.grid.cell_volumes(r)[sl3]
+        u = model.state["u"][r][sl3]
+        v = model.state["v"][r][sl3]
+        total += float(np.sum(0.5 * (u**2 + v**2) * vol))
+    return total
+
+
+def tracer_inventory(model: Model, name: str = "theta") -> float:
+    """Volume integral of a center tracer (conservation check)."""
+    total = 0.0
+    o = model.decomp.olx
+    for r, t in enumerate(model.decomp.tiles):
+        sl3 = (slice(None), slice(o, o + t.ny), slice(o, o + t.nx))
+        vol = model.grid.cell_volumes(r)[sl3]
+        total += float(np.sum(model.state[name][r][sl3] * vol))
+    return total
+
+
+def max_cfl(model: Model) -> float:
+    """Advective CFL number max(|u| dt / dx, |v| dt / dy)."""
+    dt = model.config.dt
+    worst = 0.0
+    o = model.decomp.olx
+    for r, t in enumerate(model.decomp.tiles):
+        sl3 = (slice(None), slice(o, o + t.ny), slice(o, o + t.nx))
+        sl2 = (slice(o, o + t.ny), slice(o, o + t.nx))
+        u = np.abs(model.state["u"][r][sl3]).max() if model.state["u"][r][sl3].size else 0.0
+        v = np.abs(model.state["v"][r][sl3]).max() if model.state["v"][r][sl3].size else 0.0
+        dx = model.grid.dxc[r][sl2].min()
+        dy = model.grid.dyc[r][sl2].min()
+        worst = max(worst, float(u) * dt / float(dx), float(v) * dt / float(dy))
+    return worst
+
+
+def is_finite(model: Model) -> bool:
+    """No NaNs/infs anywhere in the prognostic state."""
+    for name in ("u", "v", "theta", "tracer", "ps"):
+        for arr in model.state[name]:
+            if not np.all(np.isfinite(arr)):
+                return False
+    return True

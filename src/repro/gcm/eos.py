@@ -1,0 +1,64 @@
+"""Equations of state: buoyancy from the thermodynamic variables.
+
+The model exploits the isomorphism between the incompressible ocean and
+the compressible atmosphere (Section 3): both supply a buoyancy ``b``
+entering the hydrostatic relation ``dp_hy/dz = b``.
+
+* Ocean: linear Boussinesq EOS,
+  ``b = g (alpha (theta - theta0) - beta (S - S0))``.
+* Atmosphere isomorph: ideal-gas/potential-temperature form,
+  ``b = g (theta - theta_ref(z)) / theta_ref0`` with the moisture field
+  standing in for salinity (virtual temperature effect optional).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.gcm.constants import EARTH, PhysicalConstants
+
+#: Flops per cell to evaluate each EOS (counted from the expressions).
+LINEAR_EOS_FLOPS_PER_CELL = 6
+IDEAL_GAS_EOS_FLOPS_PER_CELL = 5
+
+
+@dataclass(frozen=True)
+class LinearEOS:
+    """Linear Boussinesq equation of state (ocean)."""
+
+    alpha: float = 2.0e-4  # thermal expansion, 1/K
+    beta: float = 7.4e-4  # haline contraction, 1/psu
+    theta0: float = 10.0  # reference potential temperature, C
+    s0: float = 35.0  # reference salinity, psu
+    constants: PhysicalConstants = EARTH
+
+    flops_per_cell: int = LINEAR_EOS_FLOPS_PER_CELL
+
+    def buoyancy(self, theta: np.ndarray, salt: np.ndarray) -> np.ndarray:
+        """Buoyancy b = g(alpha dtheta - beta dS), m/s^2."""
+        g = self.constants.gravity
+        return g * (self.alpha * (theta - self.theta0) - self.beta * (salt - self.s0))
+
+
+@dataclass(frozen=True)
+class IdealGasEOS:
+    """Potential-temperature buoyancy for the atmospheric isomorph.
+
+    ``q`` (specific humidity) plays the role salinity plays in the
+    ocean; with ``virtual_coeff = 0.61`` it contributes the virtual
+    temperature correction, with 0 it is a passive tracer.
+    """
+
+    theta_ref: float = 300.0  # K
+    virtual_coeff: float = 0.61
+    constants: PhysicalConstants = EARTH
+
+    flops_per_cell: int = IDEAL_GAS_EOS_FLOPS_PER_CELL
+
+    def buoyancy(self, theta: np.ndarray, q: np.ndarray) -> np.ndarray:
+        """Buoyancy from virtual potential temperature, m/s^2."""
+        g = self.constants.gravity
+        theta_v = theta * (1.0 + self.virtual_coeff * q)
+        return g * (theta_v - self.theta_ref) / self.theta_ref

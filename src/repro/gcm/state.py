@@ -1,0 +1,106 @@
+"""Model state: per-tile prognostic and diagnostic fields.
+
+C-grid staggering: ``u`` at west faces, ``v`` at south faces, ``w`` at
+top faces (diagnosed), tracers (``theta`` and ``salt``/``q``) and the
+hydrostatic pressure ``phy`` at cell centers, the surface pressure
+``ps`` a 2-D center field.  ``gu/gv/gtheta/gtracer`` hold the current
+G-terms and ``*_prev`` the previous step's for the Adams-Bashforth-2
+extrapolation (Fig. 6: time levels n, n-1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.gcm.grid import Grid
+
+
+#: 3-D fields carried per tile.
+FIELDS_3D = (
+    "u",
+    "v",
+    "w",
+    "theta",
+    "tracer",
+    "phy",
+    "gu",
+    "gv",
+    "gtheta",
+    "gtracer",
+    "gw",
+    "gu_prev",
+    "gv_prev",
+    "gtheta_prev",
+    "gtracer_prev",
+    "gw_prev",
+)
+#: 2-D fields carried per tile.
+FIELDS_2D = ("ps",)
+
+
+@dataclass
+class ModelState:
+    """All tile-local field arrays plus step bookkeeping."""
+
+    grid: Grid
+    fields3d: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    fields2d: Dict[str, List[np.ndarray]] = field(default_factory=dict)
+    time: float = 0.0
+    step_count: int = 0
+
+    @classmethod
+    def zeros(cls, grid: Grid) -> "ModelState":
+        st = cls(grid=grid)
+        nz = grid.nz
+        for name in FIELDS_3D:
+            st.fields3d[name] = [t.alloc3d(nz) for t in grid.decomp.tiles]
+        for name in FIELDS_2D:
+            st.fields2d[name] = [t.alloc2d() for t in grid.decomp.tiles]
+        return st
+
+    def __getitem__(self, name: str) -> List[np.ndarray]:
+        if name in self.fields3d:
+            return self.fields3d[name]
+        if name in self.fields2d:
+            return self.fields2d[name]
+        raise KeyError(name)
+
+    def swap_g_terms(self) -> None:
+        """Rotate G arrays: current becomes previous (AB2 bookkeeping)."""
+        for base in ("gu", "gv", "gtheta", "gtracer", "gw"):
+            self.fields3d[base], self.fields3d[base + "_prev"] = (
+                self.fields3d[base + "_prev"],
+                self.fields3d[base],
+            )
+
+    def set_from_global(self, name: str, global_field: np.ndarray) -> None:
+        """Initialize a field from a global array (interior + halo fill)."""
+        from repro.parallel.exchange import HaloExchanger, exchange_halos
+
+        hx = HaloExchanger(self.grid.decomp)
+        tiles = hx.scatter_global(global_field)
+        exchange_halos(self.grid.decomp, tiles)
+        target = self[name]
+        for dst, src in zip(target, tiles):
+            dst[...] = src
+
+    def to_global(self, name: str) -> np.ndarray:
+        """Assemble a field's interiors into one global array."""
+        from repro.parallel.exchange import HaloExchanger
+
+        return HaloExchanger(self.grid.decomp).gather_global(self[name])
+
+    def masked_mean(self, name: str) -> float:
+        """Volume-weighted mean of a 3-D center field over wet cells."""
+        num = 0.0
+        den = 0.0
+        o = self.grid.decomp.olx
+        for r, t in enumerate(self.grid.decomp.tiles):
+            sl = (slice(None), slice(o, o + t.ny), slice(o, o + t.nx))
+            vol = self.grid.cell_volumes(r)[sl]
+            num += float(np.sum(self[name][r][sl] * vol))
+            den += float(np.sum(vol))
+        return num / den if den else 0.0

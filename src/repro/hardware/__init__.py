@@ -1,0 +1,24 @@
+"""Hyades cluster hardware (paper Section 2).
+
+Sixteen two-way Intel PII/400 SMP nodes, each with 512 MB of PC100 SDRAM
+and one StarT-X PCI NIU into the Arctic Switch Fabric; total hardware
+cost under $100k, split about evenly between nodes and interconnect.
+"""
+
+from repro.hardware.smp import SMPParams, SMPNode
+from repro.hardware.cluster import HyadesConfig, HyadesCluster
+from repro.hardware.vector_machines import (
+    VECTOR_MACHINES,
+    MachinePerformance,
+    fig10_reference_rows,
+)
+
+__all__ = [
+    "SMPParams",
+    "SMPNode",
+    "HyadesConfig",
+    "HyadesCluster",
+    "VECTOR_MACHINES",
+    "MachinePerformance",
+    "fig10_reference_rows",
+]

@@ -1,0 +1,72 @@
+"""Assembly of the full Hyades cluster (paper Section 2).
+
+Builds the discrete-event engine, the Arctic fat tree, one StarT-X NIU
+per node and the SMP nodes around them, plus the cost accounting the
+paper leads with: "total cost of the hardware is less than $100,000,
+about evenly divided between the processing nodes and the interconnect".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim import Engine
+from repro.network.fattree import FatTree, FatTreeParams
+from repro.niu.pci import PCIBus, PCIParams
+from repro.niu.startx import StarTX
+from repro.hardware.smp import SMPNode, SMPParams
+
+
+@dataclass(frozen=True)
+class HyadesConfig:
+    """Cluster shape and per-unit prices (1999 dollars)."""
+
+    n_nodes: int = 16
+    smp: SMPParams = field(default_factory=SMPParams)
+    pci: PCIParams = field(default_factory=PCIParams)
+    fabric: FatTreeParams = field(default_factory=FatTreeParams)
+    node_price_usd: float = 3_100.0
+    interconnect_price_per_node_usd: float = 3_100.0
+
+    @property
+    def total_cpus(self) -> int:
+        return self.n_nodes * self.smp.cpus_per_node
+
+    @property
+    def hardware_cost_usd(self) -> float:
+        return self.n_nodes * (self.node_price_usd + self.interconnect_price_per_node_usd)
+
+
+class HyadesCluster:
+    """The simulated sixteen-SMP Hyades machine."""
+
+    def __init__(self, config: Optional[HyadesConfig] = None, engine: Optional[Engine] = None) -> None:
+        self.config = config or HyadesConfig()
+        self.engine = engine or Engine()
+        self.fabric = FatTree(self.engine, self.config.n_nodes, self.config.fabric)
+        self.nodes: list[SMPNode] = []
+        for nid in range(self.config.n_nodes):
+            pci = PCIBus(self.engine, self.config.pci)
+            niu = StarTX(self.engine, self.fabric, nid, pci=pci)
+            self.nodes.append(SMPNode(self.engine, nid, niu, self.config.smp))
+
+    @property
+    def n_nodes(self) -> int:
+        return self.config.n_nodes
+
+    @property
+    def total_cpus(self) -> int:
+        return self.config.total_cpus
+
+    def node(self, nid: int) -> SMPNode:
+        """The SMP node with id ``nid``."""
+        return self.nodes[nid]
+
+    def niu(self, nid: int) -> StarTX:
+        """Node ``nid``'s StarT-X network interface."""
+        return self.nodes[nid].niu
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Advance the discrete-event simulation."""
+        return self.engine.run(until=until)

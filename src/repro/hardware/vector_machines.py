@@ -1,0 +1,45 @@
+"""Reference sustained-performance data of Fig. 10.
+
+The paper compares the ocean isomorph's sustained floating-point rate on
+Hyades against contemporary vector supercomputers.  The vector-machine
+rows are literature/benchmark numbers the paper reports (not something
+it measures), so they are kept here as reference constants; the Hyades
+rows are *computed* by :mod:`repro.core.sustained` from the performance
+model and reproduced in ``benchmarks/bench_fig10_sustained.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachinePerformance:
+    """One row of Fig. 10: sustained GFlop/s of the ocean isomorph."""
+
+    machine: str
+    processors: int
+    sustained_gflops: float
+
+
+#: Fig. 10 vector-machine rows (sustained 10^9 flop/s).
+VECTOR_MACHINES: tuple[MachinePerformance, ...] = (
+    MachinePerformance("Cray Y-MP", 1, 0.4),
+    MachinePerformance("Cray Y-MP", 4, 1.5),
+    MachinePerformance("Cray C90", 1, 0.6),
+    MachinePerformance("Cray C90", 4, 2.2),
+    MachinePerformance("NEC SX-4", 1, 0.7),
+    MachinePerformance("NEC SX-4", 4, 2.7),
+)
+
+#: Fig. 10 Hyades rows as the paper reports them (for comparison against
+#: the values our model computes).
+HYADES_PAPER_ROWS: tuple[MachinePerformance, ...] = (
+    MachinePerformance("Hyades", 1, 0.054),
+    MachinePerformance("Hyades", 16, 0.8),
+)
+
+
+def fig10_reference_rows() -> list[MachinePerformance]:
+    """All Fig. 10 rows as the paper prints them."""
+    return list(VECTOR_MACHINES) + list(HYADES_PAPER_ROWS)

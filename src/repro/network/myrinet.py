@@ -1,0 +1,29 @@
+"""HPVM/Myrinet comparison model (paper Section 6).
+
+The paper reports two data points for a comparable HPVM cluster over
+Myrinet:
+
+* a sixteen-way global barrier takes *more than 50 us* (>2.5x the 18.2 us
+  Hyades achieves with its context-specific primitive);
+* the transfer bandwidth for 1-KByte blocks is about 42 MB/s (25 % below
+  Hyades's 56.8 MB/s exchange bandwidth at that size).
+
+With an 80 MB/s streaming rate (HPVM Fast Messages on Myrinet-1280) and
+an 11.6 us per-transfer overhead, a 1 KB block moves at
+``1024 / (11.6e-6 + 1024/80e6) = 42 MB/s`` and a 16-way butterfly barrier
+of four 12.5 us rounds takes 50 us — matching both data points.
+"""
+
+from __future__ import annotations
+
+from repro.network.costmodel import CommCostModel, MB, US
+
+
+def myrinet_hpvm_cost_model() -> CommCostModel:
+    """HPVM suite on Myrinet, calibrated to the Section 6 data points."""
+    return CommCostModel(
+        name="HPVM/Myrinet",
+        transfer_overhead=11.6 * US,
+        bandwidth=80 * MB,
+        gsum_round=12.5 * US,
+    )

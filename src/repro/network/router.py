@@ -1,0 +1,112 @@
+"""Arctic router and link models (paper Section 2.2).
+
+The Arctic Switch Fabric is packet-switched with cut-through forwarding:
+
+* latency through a router stage (router + wire) is 0.15 us,
+* each link carries 150 MByte/s in each direction,
+* two priorities; HIGH can never be blocked behind LOW,
+* per-path FIFO ordering,
+* CRC verified at every router stage; corrupted packets are dropped and
+  counted (software sees the 1-bit status at the endpoint).
+
+A :class:`Link` models one direction of a physical link: packets queue in
+a priority store, serialize at the link bandwidth, and the *head* of the
+packet arrives at the far side one stage latency after transmission
+starts (cut-through: the downstream hop forwards without waiting for the
+tail, so end-to-end latency is ``hops * stage + wire_bytes / bandwidth``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.sim import Engine, PriorityStore
+from repro.network.packet import Packet, Priority
+
+#: Paper Section 2.2 hardware constants.
+ARCTIC_LINK_BANDWIDTH = 150e6  # bytes/sec, each direction
+ARCTIC_STAGE_LATENCY = 0.15e-6  # seconds through one router stage
+
+
+@dataclass
+class LinkStats:
+    """Per-link counters for utilisation and error accounting."""
+
+    packets: int = 0
+    bytes: int = 0
+    busy_time: float = 0.0
+    high_priority_packets: int = 0
+
+
+class Link:
+    """One direction of an Arctic link: FIFO per priority, cut-through."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        sink: Callable[[Packet], None],
+        bandwidth: float = ARCTIC_LINK_BANDWIDTH,
+        stage_latency: float = ARCTIC_STAGE_LATENCY,
+        name: str = "link",
+    ) -> None:
+        self.engine = engine
+        self.sink = sink
+        self.bandwidth = bandwidth
+        self.stage_latency = stage_latency
+        self.name = name
+        self.stats = LinkStats()
+        self._queue = PriorityStore(engine)
+        engine.process(self._transmitter())
+
+    def send(self, packet: Packet) -> None:
+        """Enqueue a packet for transmission (HIGH priority jumps LOW)."""
+        self._queue.try_put(packet, priority=int(packet.priority))
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue)
+
+    def _transmitter(self):
+        while True:
+            pkt: Packet = yield self._queue.get()
+            t_ser = pkt.wire_bytes / self.bandwidth
+            self.stats.packets += 1
+            self.stats.bytes += pkt.wire_bytes
+            self.stats.busy_time += t_ser
+            if pkt.priority == Priority.HIGH:
+                self.stats.high_priority_packets += 1
+            # Cut-through: head reaches the far side after the stage
+            # latency while the tail is still serializing here.
+            self.engine.schedule(self.stage_latency, lambda p=pkt: self.sink(p))
+            yield self.engine.timeout(t_ser)
+
+
+class ArcticRouter:
+    """A fat-tree router: verifies CRC, routes, forwards cut-through.
+
+    The topology injects ``route_fn(packet) -> Link`` after wiring; the
+    router itself only knows how to check and forward.
+    """
+
+    def __init__(self, engine: Engine, name: str = "router") -> None:
+        self.engine = engine
+        self.name = name
+        self.route_fn: Optional[Callable[[Packet], Link]] = None
+        self.packets_forwarded = 0
+        self.crc_errors = 0
+        self.dropped: list[Packet] = []
+
+    def receive(self, packet: Packet) -> None:
+        """Packet head arrived at this router; verify and forward."""
+        if not packet.check_crc():
+            # Section 2.2: correctness verified at every router stage.
+            self.crc_errors += 1
+            self.dropped.append(packet)
+            return
+        if self.route_fn is None:
+            raise RuntimeError(f"router {self.name} not wired into a topology")
+        packet.hops += 1
+        out = self.route_fn(packet)
+        out.send(packet)
+        self.packets_forwarded += 1

@@ -1,0 +1,201 @@
+"""SPMD execution with *real data* on the discrete-event cluster.
+
+Everywhere else the split is: functional data movement in NumPy, timing
+from cost models.  This module closes the last gap for validation: a
+halo exchange in which every edge slab actually travels through the
+simulated StarT-X NIUs and Arctic fat tree as VI transfers (bytes on
+the wire), and a global sum whose partial values ride PIO packets.  A
+tiled computation run this way must produce arrays *identical* to the
+functional :func:`repro.parallel.exchange.exchange_halos` — the
+strongest end-to-end check that the NIU/fabric models preserve data.
+
+Deadlock is avoided the way the real exchange primitive does it: each
+rank's NIU driver (a server process) accepts inbound transfer requests
+independently of the rank's own sends, so opposite directions of a
+pairwise exchange can always make progress.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.cluster import HyadesCluster
+from repro.parallel.des_collectives import des_global_sum
+from repro.parallel.tiling import Decomposition
+from repro.sim import Signal
+
+#: Tag space for halo traffic: direction index rides in the transfer id.
+_DIRECTIONS = ("west", "east", "south", "north")
+_OPPOSITE = {"west": "east", "east": "west", "south": "north", "north": "south"}
+
+
+def _edge_slices(decomp: Decomposition, rank: int, direction: str, width: int):
+    """(send_slice, recv_slice) of a tile array for one direction.
+
+    ``send_slice`` selects the interior strip shipped to the neighbour
+    in ``direction``; ``recv_slice`` selects the halo strip filled by
+    data arriving *from* that neighbour.
+    """
+    t = decomp.tile(rank)
+    o = decomp.olx
+    w = width
+    rows_i = slice(o, o + t.ny)
+    if direction == "west":
+        return (rows_i, slice(o, o + w)), (rows_i, slice(o - w, o))
+    if direction == "east":
+        return (rows_i, slice(o + t.nx - w, o + t.nx)), (rows_i, slice(o + t.nx, o + t.nx + w))
+    cols_f = slice(o - w, o + t.nx + w)  # y-pass spans x halos (corners)
+    if direction == "south":
+        return (slice(o, o + w), cols_f), (slice(o - w, o), cols_f)
+    if direction == "north":
+        return (slice(o + t.ny - w, o + t.ny), cols_f), (slice(o + t.ny, o + t.ny + w), cols_f)
+    raise ValueError(direction)
+
+
+class DESExchanger:
+    """Halo exchange whose bytes travel the simulated hardware."""
+
+    def __init__(self, cluster: HyadesCluster, decomp: Decomposition) -> None:
+        if decomp.n_ranks > cluster.n_nodes:
+            raise ValueError("decomposition needs more nodes than the cluster has")
+        self.cluster = cluster
+        self.decomp = decomp
+        self.engine = cluster.engine
+        # per-rank completed inbound transfers: (src, tag) -> bytes
+        self._arrived: List[Dict[Tuple[int, int], bytes]] = [
+            {} for _ in range(decomp.n_ranks)
+        ]
+        self._signals = [Signal(self.engine) for _ in range(decomp.n_ranks)]
+        self._servers_started = [False] * decomp.n_ranks
+        self._round = 0
+        # out-of-order barrier packets stashed per rank
+        self._barrier_stash: List[list] = [[] for _ in range(decomp.n_ranks)]
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _ensure_server(self, rank: int) -> None:
+        if self._servers_started[rank]:
+            return
+        self._servers_started[rank] = True
+        niu = self.cluster.niu(rank)
+
+        def server():
+            while True:
+                xfer = yield from niu.vi_serve_request()
+                xfer = yield from niu.vi_wait_complete(xfer.xid)
+                # transfer id encodes (round, direction) in its low bits
+                self._arrived[rank][(xfer.src, xfer.xid & 0xFFF)] = bytes(xfer.data)
+                self._signals[rank].fire()
+
+        self.engine.process(server())
+
+    def _await_slab(self, rank: int, src: int, tag: int):
+        """Process: block until the (src, tag) slab has landed."""
+        while (src, tag) not in self._arrived[rank]:
+            yield self._signals[rank].wait()
+        return self._arrived[rank].pop((src, tag))
+
+    # -- the exchange ---------------------------------------------------------
+
+    def exchange(self, fields: Sequence[np.ndarray], width: Optional[int] = None) -> float:
+        """Run one two-pass halo exchange on the DES; returns elapsed.
+
+        ``fields[rank]`` are tile-local arrays (2-D or 3-D), modified in
+        place exactly as :func:`exchange_halos` would.
+        """
+        w = self.decomp.olx if width is None else width
+        if w == 0:
+            return 0.0
+        start = self.engine.now
+        self._round += 1
+        done = [False] * self.decomp.n_ranks
+
+        def rank_proc(rank: int):
+            self._ensure_server(rank)
+            arr = fields[rank]
+            niu = self.cluster.niu(rank)
+            for pass_dirs in (("west", "east"), ("south", "north")):
+                expected = []
+                for d in pass_dirs:
+                    nbr = self.decomp.neighbor(rank, d)
+                    if nbr is None:
+                        continue
+                    send_sl, recv_sl = _edge_slices(self.decomp, rank, d, w)
+                    slab = np.ascontiguousarray(arr[(Ellipsis,) + send_sl])
+                    tag = (self._round % 16) * 64 + _DIRECTIONS.index(d)
+                    if nbr == rank:
+                        # periodic self-wrap: shared memory, no network
+                        _, self_recv = _edge_slices(self.decomp, rank, _OPPOSITE[d], w)
+                        arr[(Ellipsis,) + self_recv] = slab
+                        continue
+                    yield from niu.vi_send(
+                        nbr, slab.nbytes, data=slab.tobytes(), xid=(rank << 12) | tag
+                    )
+                    expected.append((d, nbr))
+                for d, nbr in expected:
+                    # the neighbour ships its edge facing us with the
+                    # opposite direction's tag
+                    opp_tag = (self._round % 16) * 64 + _DIRECTIONS.index(_OPPOSITE[d])
+                    raw = yield from self._await_slab(rank, nbr, opp_tag)
+                    _, recv_sl = _edge_slices(self.decomp, rank, d, w)
+                    view = arr[(Ellipsis,) + recv_sl]
+                    view[...] = np.frombuffer(raw, dtype=arr.dtype).reshape(view.shape)
+                # pass barrier so corner data is coherent before y-pass
+                yield from self._barrier_round(rank)
+            done[rank] = True
+
+        for r in range(self.decomp.n_ranks):
+            self.engine.process(rank_proc(r))
+        self.engine.run()
+        if not all(done):
+            raise RuntimeError("DES exchange deadlocked")
+        return self.engine.now - start
+
+    def _barrier_round(self, rank: int):
+        """Process: a cheap dissemination barrier over the ranks using
+        8-byte PIO messages (keeps the two passes separated)."""
+        n = self.decomp.n_ranks
+        if n == 1:
+            return
+        niu = self.cluster.niu(rank)
+        shift = 1
+        round_i = 0
+        while shift < n:
+            to = (rank + shift) % n
+            frm = (rank - shift) % n
+            yield from niu.pio_send(to, [self._round % 1024, round_i], tag=0x500 + round_i)
+            # wait for the matching message, stashing early arrivals
+            stash = self._barrier_stash[rank]
+            while True:
+                hit = next(
+                    (
+                        p
+                        for p in stash
+                        if p.tag == 0x500 + round_i and p.src == frm
+                    ),
+                    None,
+                )
+                if hit is not None:
+                    stash.remove(hit)
+                    break
+                pkt = yield from niu.pio_recv()
+                if pkt.tag == 0x500 + round_i and pkt.src == frm:
+                    break
+                stash.append(pkt)
+            shift <<= 1
+            round_i += 1
+
+
+def des_global_mean(cluster: HyadesCluster, decomp: Decomposition, fields) -> float:
+    """Global mean of tile interiors via an on-the-wire global sum."""
+    o = decomp.olx
+    partials = []
+    counts = []
+    for r, t in enumerate(decomp.tiles):
+        sl = (Ellipsis, slice(o, o + t.ny), slice(o, o + t.nx))
+        partials.append(float(np.sum(fields[r][sl])))
+        counts.append(fields[r][sl].size)
+    results, _ = des_global_sum(cluster, partials)
+    return results[0] / sum(counts)

@@ -1,0 +1,256 @@
+"""Lockstep BSP runtime: real data movement, virtual time.
+
+The GCM's parallel structure is bulk-synchronous — per-tile compute
+separated by exchanges and global sums — so ranks execute in lockstep
+with one virtual clock each:
+
+* compute is charged as ``flops / phase flop rate`` (the paper measures
+  Fps = 50 MFlop/s and Fds = 60 MFlop/s on stand-alone kernels and its
+  model divides counted flops by those rates, eq. 5/8);
+* an exchange synchronizes each rank with its neighbours and adds the
+  interconnect cost model's exchange time;
+* a global sum synchronizes all ranks and adds tgsum.
+
+``cpus_per_node = 2`` models the production mix-mode: two ranks per SMP,
+exchanges relayed by the master at reduced slave bandwidth, global sums
+hierarchical over the SMP masters (Sections 4.1-4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.network.costmodel import CommCostModel, arctic_cost_model
+from repro.parallel.exchange import exchange_halos
+from repro.parallel.globalsum import GlobalSummer
+from repro.parallel.tiling import Decomposition
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Per-phase sustained flop rates (flops/second).
+
+    Defaults are the paper's measured single-CPU kernel rates (Fig. 11):
+    Fps = 50 MFlop/s for the 3-D prognostic kernel, Fds = 60 MFlop/s for
+    the 2-D solver kernel.
+    """
+
+    fps: float = 50e6
+    fds: float = 60e6
+
+    def rate(self, phase: str) -> float:
+        """Flop rate of phase ``"ps"`` or ``"ds"``."""
+        if phase == "ps":
+            return self.fps
+        if phase == "ds":
+            return self.fds
+        raise ValueError(f"unknown phase {phase!r}")
+
+
+@dataclass
+class RankStats:
+    """Virtual-time accounting for one rank."""
+
+    compute_time: float = 0.0
+    exchange_time: float = 0.0
+    gsum_time: float = 0.0
+    sync_time: float = 0.0  # waiting for neighbours/collectives
+    flops: int = 0
+    n_exchanges: int = 0
+    n_gsums: int = 0
+    bytes_exchanged: int = 0  # halo bytes this rank sent
+
+    @property
+    def comm_time(self) -> float:
+        return self.exchange_time + self.gsum_time
+
+
+class LockstepRuntime:
+    """Executes an SPMD tile program over virtual ranks."""
+
+    def __init__(
+        self,
+        decomp: Decomposition,
+        cost_model: Optional[CommCostModel] = None,
+        cpus_per_node: int = 1,
+        machine: Optional[MachineModel] = None,
+        record_timeline: bool = False,
+    ) -> None:
+        if cpus_per_node < 1:
+            raise ValueError("cpus_per_node must be >= 1")
+        if decomp.n_ranks % cpus_per_node:
+            raise ValueError("rank count must be a multiple of cpus_per_node")
+        self.decomp = decomp
+        self.cost_model = cost_model or arctic_cost_model()
+        self.cpus_per_node = cpus_per_node
+        self.machine = machine or MachineModel()
+        self.n_ranks = decomp.n_ranks
+        self.n_nodes = self.n_ranks // cpus_per_node
+        self.mixmode = cpus_per_node > 1
+        self.clocks = np.zeros(self.n_ranks)
+        self.stats = [RankStats() for _ in range(self.n_ranks)]
+        self._summer = GlobalSummer(self.n_ranks, cpus_per_node)
+        #: Optional event log: (kind, t_start, t_end) of each charged
+        #: phase on the critical-path clock; enable with
+        #: ``record_timeline=True`` for post-mortem schedule analysis.
+        self.record_timeline = record_timeline
+        self.timeline: list[tuple[str, float, float]] = []
+
+    def _log(self, kind: str, t_start: float) -> None:
+        if self.record_timeline:
+            self.timeline.append((kind, t_start, self.elapsed))
+
+    # -- compute ---------------------------------------------------------
+
+    def charge_compute(self, flops_per_rank: Sequence[float] | float, phase: str) -> None:
+        """Advance every rank's clock by its compute time for this stage."""
+        rate = self.machine.rate(phase)
+        flops = np.broadcast_to(np.asarray(flops_per_rank, dtype=float), (self.n_ranks,))
+        t_start = self.elapsed
+        dt = flops / rate
+        self.clocks += dt
+        for r, st in enumerate(self.stats):
+            st.compute_time += dt[r]
+            st.flops += int(flops[r])
+        self._log(f"compute:{phase}", t_start)
+
+    # -- exchange ----------------------------------------------------------
+
+    def exchange(
+        self,
+        fields: Sequence[Sequence[np.ndarray]] | Sequence[np.ndarray],
+        width: Optional[int] = None,
+        itemsize: int = 8,
+    ) -> None:
+        """Exchange halos of one or more fields and charge virtual time.
+
+        ``fields`` is either one field (a list of per-rank tile arrays)
+        or a list of such fields exchanged back-to-back (the PS phase
+        exchanges five three-dimensional state fields per step).
+        """
+        first = fields[0]
+        multi = isinstance(first, (list, tuple))
+        field_list = list(fields) if multi else [fields]  # type: ignore[list-item]
+
+        costs = np.zeros(self.n_ranks)
+        for f in field_list:
+            arr0 = f[0]
+            nz = 1 if arr0.ndim == 2 else arr0.shape[0]
+            exchange_halos(self.decomp, f, width)
+            for r in range(self.n_ranks):
+                edges = self.decomp.edge_bytes(nz=nz, width=width, itemsize=itemsize, rank=r)
+                costs[r] += self.cost_model.exchange_time(
+                    edges, mixmode=self.mixmode, n_ranks=self.n_ranks
+                )
+                self.stats[r].bytes_exchanged += sum(edges)
+
+        # Neighbour synchronization: a rank cannot finish its exchange
+        # before the tiles it trades halos with have arrived at it.
+        before = self.clocks.copy()
+        synced = before.copy()
+        for r in range(self.n_ranks):
+            for d in ("west", "east", "south", "north"):
+                nbr = self.decomp.neighbor(r, d)
+                if nbr is not None and nbr != r:
+                    synced[r] = max(synced[r], before[nbr])
+        t_start = float(before.max())
+        self.clocks = synced + costs
+        for r, st in enumerate(self.stats):
+            st.sync_time += synced[r] - before[r]
+            st.exchange_time += costs[r]
+            st.n_exchanges += len(field_list)
+        self._log(f"exchange:{len(field_list)}f", t_start)
+
+    # -- global sum ---------------------------------------------------------
+
+    def global_sum(self, values: Sequence[float]) -> float:
+        """All-reduce one scalar per rank; synchronizes every clock."""
+        result = self._summer(values)
+        t_g = self.cost_model.gsum_time(self.n_nodes, smp=self.mixmode)
+        before = self.clocks.copy()
+        now = float(before.max())
+        self.clocks[:] = now + t_g
+        for r, st in enumerate(self.stats):
+            st.sync_time += now - before[r]
+            st.gsum_time += t_g
+            st.n_gsums += 1
+        self._log("gsum", now)
+        return result
+
+    def barrier(self) -> None:
+        """Synchronize clocks (costed like a dataless global sum)."""
+        t_b = self.cost_model.barrier_time(self.n_nodes)
+        self.clocks[:] = float(self.clocks.max()) + t_b
+
+    def sync(self) -> None:
+        """Cost-free clock alignment (e.g. entering a phase that begins
+        with a collective whose cost is charged separately)."""
+        before = self.clocks.copy()
+        now = float(before.max())
+        self.clocks[:] = now
+        for r, st in enumerate(self.stats):
+            st.sync_time += now - before[r]
+
+    def charge_phase(
+        self,
+        compute: float = 0.0,
+        exchange: float = 0.0,
+        gsum: float = 0.0,
+        flops: float = 0.0,
+        n_exchanges: int = 0,
+        n_gsums: int = 0,
+    ) -> None:
+        """Charge a pre-aggregated, globally-synchronous phase uniformly.
+
+        Used for the DS solver, whose per-iteration global sums keep all
+        ranks in lockstep: the caller aggregates ``Ni`` iterations of
+        compute/exchange/gsum cost and charges them here in one call.
+        """
+        total = compute + exchange + gsum
+        t_start = self.elapsed
+        self.clocks += total
+        per_rank_flops = flops / self.n_ranks if self.n_ranks else 0.0
+        for st in self.stats:
+            st.compute_time += compute
+            st.exchange_time += exchange
+            st.gsum_time += gsum
+            st.flops += int(per_rank_flops)
+            st.n_exchanges += n_exchanges
+            st.n_gsums += n_gsums
+        self._log(f"solver:{n_gsums // 2}it", t_start)
+
+    # -- reporting -----------------------------------------------------------
+
+    @property
+    def elapsed(self) -> float:
+        """Virtual wall-clock: the slowest rank's time."""
+        return float(self.clocks.max())
+
+    def total_flops(self) -> int:
+        """Total flops charged across every rank."""
+        return sum(st.flops for st in self.stats)
+
+    def sustained_flops(self) -> float:
+        """Aggregate sustained rate = total flops / virtual wall-clock."""
+        t = self.elapsed
+        return self.total_flops() / t if t > 0 else 0.0
+
+    def summary(self) -> dict[str, float]:
+        """Critical-path rank's time breakdown plus aggregate rates."""
+        worst = max(range(self.n_ranks), key=lambda r: self.clocks[r])
+        st = self.stats[worst]
+        return {
+            "elapsed": self.elapsed,
+            "compute_time": st.compute_time,
+            "exchange_time": st.exchange_time,
+            "gsum_time": st.gsum_time,
+            "sync_time": st.sync_time,
+            "total_flops": float(self.total_flops()),
+            "sustained_flops": self.sustained_flops(),
+            "total_bytes_exchanged": float(
+                sum(s.bytes_exchanged for s in self.stats)
+            ),
+        }

@@ -1,0 +1,104 @@
+"""The discrete-event engine: a virtual clock plus an event heap.
+
+Times are floats in **seconds** of virtual time.  The engine is
+single-threaded and deterministic: same inputs, same event order, same
+results.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Iterator, Optional
+
+
+class SimTimeError(ValueError):
+    """Raised when an event is scheduled in the (virtual) past."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process that another process interrupted.
+
+    The ``cause`` attribute carries whatever object the interrupter passed.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Engine:
+    """Event heap + virtual clock.
+
+    The core loop pops ``(time, seq, callback)`` triples in order and runs
+    each callback at its scheduled virtual time.  Model processes (see
+    :class:`repro.sim.process.Process`) are generators driven by these
+    callbacks.
+    """
+
+    def __init__(self) -> None:
+        self._now: float = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._nevents = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds."""
+        return self._now
+
+    @property
+    def events_executed(self) -> int:
+        """Total number of events the engine has dispatched."""
+        return self._nevents
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimTimeError(f"cannot schedule {delay} s in the past")
+        heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn))
+
+    def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
+        """Run ``fn`` at absolute virtual time ``when``."""
+        if when < self._now:
+            raise SimTimeError(f"cannot schedule at {when} < now {self._now}")
+        heapq.heappush(self._heap, (when, next(self._seq), fn))
+
+    def process(self, gen: Iterator[Any]) -> "Process":
+        """Register a generator as a simulation process and start it now."""
+        from repro.sim.process import Process
+
+        return Process(self, gen)
+
+    def timeout(self, delay: float) -> "Timeout":
+        """Waitable that fires ``delay`` seconds from now."""
+        from repro.sim.process import Timeout
+
+        return Timeout(self, delay)
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Dispatch events until the heap drains, ``until`` passes, or
+        ``max_events`` have run.  Returns the final virtual time.
+        """
+        while self._heap:
+            when, _seq, fn = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            self._nevents += 1
+            fn()
+            if max_events is not None and self._nevents >= max_events:
+                break
+        if until is not None and self._now < until:
+            self._now = until
+        return self._now
+
+    def peek(self) -> float:
+        """Virtual time of the next pending event (``inf`` if none)."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def empty(self) -> bool:
+        """True when no events are pending."""
+        return not self._heap

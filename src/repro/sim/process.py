@@ -1,0 +1,179 @@
+"""Generator-based simulation processes and waitable events.
+
+A *waitable* is any object with ``subscribe(fn)``: the engine resumes a
+blocked process with the waitable's value when it fires.  Processes are
+themselves waitable, so one process can ``yield`` another to join on it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterator, Optional
+
+from repro.sim.engine import Engine, Interrupt
+
+_PENDING = object()
+
+
+class BaseEvent:
+    """A one-shot waitable: fires once with a value, notifying subscribers."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._value: Any = _PENDING
+        self._ok = True
+        self._subs: list[Callable[["BaseEvent"], None]] = []
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not _PENDING
+
+    @property
+    def ok(self) -> bool:
+        """False when the event carries an exception rather than a value."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is _PENDING:
+            raise RuntimeError("event has not fired yet")
+        return self._value
+
+    def subscribe(self, fn: Callable[["BaseEvent"], None]) -> None:
+        """Call ``fn(event)`` when this event fires (immediately if fired)."""
+        if self.triggered:
+            # Deliver asynchronously but at the same virtual time, so
+            # subscription order never reorders the clock.
+            self.engine.schedule(0.0, lambda: fn(self))
+        else:
+            self._subs.append(fn)
+
+    def succeed(self, value: Any = None) -> "BaseEvent":
+        """Fire the event with ``value`` at the current virtual time."""
+        if self.triggered:
+            raise RuntimeError("event already fired")
+        self._value = value
+        subs, self._subs = self._subs, []
+        for fn in subs:
+            self.engine.schedule(0.0, lambda f=fn: f(self))
+        return self
+
+    def fail(self, exc: BaseException) -> "BaseEvent":
+        """Fire the event with an exception; waiters see it raised."""
+        if self.triggered:
+            raise RuntimeError("event already fired")
+        self._ok = False
+        self._value = exc
+        subs, self._subs = self._subs, []
+        for fn in subs:
+            self.engine.schedule(0.0, lambda f=fn: f(self))
+        return self
+
+
+class Timeout(BaseEvent):
+    """Fires ``delay`` seconds after creation."""
+
+    def __init__(self, engine: Engine, delay: float, value: Any = None) -> None:
+        super().__init__(engine)
+        self.delay = delay
+        engine.schedule(delay, lambda: self.succeed(value))
+
+
+class AllOf(BaseEvent):
+    """Fires once every child event has fired; value is the list of values."""
+
+    def __init__(self, engine: Engine, events: list) -> None:
+        super().__init__(engine)
+        self._remaining = len(events)
+        self._events = list(events)
+        if self._remaining == 0:
+            self.succeed([])
+        else:
+            for ev in events:
+                ev.subscribe(self._on_child)
+
+    def _on_child(self, ev: BaseEvent) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([e.value for e in self._events])
+
+
+class AnyOf(BaseEvent):
+    """Fires when the first child fires; value is ``(index, value)``."""
+
+    def __init__(self, engine: Engine, events: list) -> None:
+        super().__init__(engine)
+        if not events:
+            raise ValueError("AnyOf needs at least one event")
+        for i, ev in enumerate(events):
+            ev.subscribe(lambda e, i=i: self._on_child(i, e))
+
+    def _on_child(self, idx: int, ev: BaseEvent) -> None:
+        if self.triggered:
+            return
+        if not ev.ok:
+            self.fail(ev.value)
+        else:
+            self.succeed((idx, ev.value))
+
+
+class Process(BaseEvent):
+    """Drives a generator; the process event fires with the return value.
+
+    The generator yields waitables; each resumption sends the waitable's
+    value back into the generator (or throws, for failed events and
+    interrupts).
+    """
+
+    def __init__(self, engine: Engine, gen: Iterator[Any], name: Optional[str] = None) -> None:
+        super().__init__(engine)
+        self.gen = gen
+        self.name = name or getattr(gen, "__name__", "process")
+        self._waiting_on: Optional[BaseEvent] = None
+        engine.schedule(0.0, lambda: self._resume(None, None))
+
+    @property
+    def alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current time."""
+        if self.triggered:
+            return
+        self._waiting_on = None  # stale wakeups are ignored via the token
+        self.engine.schedule(0.0, lambda: self._resume(None, Interrupt(cause)))
+
+    def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
+        if self.triggered:
+            return
+        try:
+            if exc is not None:
+                target = self.gen.throw(exc)
+            else:
+                target = self.gen.send(value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # Process chose not to handle its interruption: treat as death.
+            self.succeed(None)
+            return
+        if not hasattr(target, "subscribe"):
+            raise TypeError(
+                f"process {self.name!r} yielded non-waitable {target!r}"
+            )
+        self._waiting_on = target
+        target.subscribe(self._on_wait_done)
+
+    def _on_wait_done(self, ev: BaseEvent) -> None:
+        if self._waiting_on is not ev:
+            return  # interrupted while waiting; this wakeup is stale
+        self._waiting_on = None
+        if ev.ok:
+            self._resume(ev.value, None)
+        else:
+            self._resume(None, ev.value)

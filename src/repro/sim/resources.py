@@ -1,0 +1,211 @@
+"""Shared simulation resources: FIFO stores, priority stores, semaphores.
+
+These model the hardware queues of the StarT-X NIU and the arbitration of
+shared buses (PCI) and links (Arctic).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.process import BaseEvent
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue with blocking get/put.
+
+    ``capacity=None`` means unbounded (puts never block), which models a
+    memory-backed queue; a finite capacity models a hardware FIFO that
+    exerts back-pressure.
+    """
+
+    def __init__(self, engine: Engine, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity <= 0:
+            raise ValueError("capacity must be positive or None")
+        self.engine = engine
+        self.capacity = capacity
+        self._items: deque[Any] = deque()
+        self._getters: deque[BaseEvent] = deque()
+        self._putters: deque[tuple[BaseEvent, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._items) >= self.capacity
+
+    def put(self, item: Any) -> BaseEvent:
+        """Waitable that fires once ``item`` is enqueued."""
+        ev = BaseEvent(self.engine)
+        if not self.full:
+            self._items.append(item)
+            ev.succeed(item)
+            self._wake_getter()
+        else:
+            self._putters.append((ev, item))
+        return ev
+
+    def try_put(self, item: Any) -> bool:
+        """Non-blocking put; returns False when the queue is full."""
+        if self.full:
+            return False
+        self._items.append(item)
+        self._wake_getter()
+        return True
+
+    def get(self) -> BaseEvent:
+        """Waitable that fires with the next item."""
+        ev = BaseEvent(self.engine)
+        if self._items:
+            ev.succeed(self._take())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking get; returns ``(ok, item)``."""
+        if self._items:
+            return True, self._take()
+        return False, None
+
+    def _take(self) -> Any:
+        item = self._items.popleft()
+        if self._putters:
+            pev, pitem = self._putters.popleft()
+            self._items.append(pitem)
+            pev.succeed(pitem)
+        return item
+
+    def _wake_getter(self) -> None:
+        while self._getters and self._items:
+            gev = self._getters.popleft()
+            gev.succeed(self._take())
+
+
+class PriorityStore(Store):
+    """A store that always yields the lowest-priority-value item first.
+
+    Models Arctic's two-priority rule: high-priority (lower value) messages
+    can never be blocked behind low-priority ones.
+    """
+
+    def __init__(self, engine: Engine, capacity: Optional[int] = None) -> None:
+        super().__init__(engine, capacity)
+        self._heap: list[tuple[Any, int, Any]] = []
+        self._seq = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def full(self) -> bool:
+        return self.capacity is not None and len(self._heap) >= self.capacity
+
+    def put(self, item: Any, priority: int = 0) -> BaseEvent:
+        """Waitable put honouring ``priority`` (lower value served first)."""
+        ev = BaseEvent(self.engine)
+        if not self.full:
+            heapq.heappush(self._heap, (priority, next(self._seq), item))
+            ev.succeed(item)
+            self._wake_getter()
+        else:
+            self._putters.append((ev, (priority, item)))
+        return ev
+
+    def try_put(self, item: Any, priority: int = 0) -> bool:
+        """Non-blocking prioritized put; False when full."""
+        if self.full:
+            return False
+        heapq.heappush(self._heap, (priority, next(self._seq), item))
+        self._wake_getter()
+        return True
+
+    def get(self) -> BaseEvent:
+        """Waitable yielding the highest-priority item."""
+        ev = BaseEvent(self.engine)
+        if self._heap:
+            ev.succeed(self._take())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking prioritized get; ``(ok, item)``."""
+        if self._heap:
+            return True, self._take()
+        return False, None
+
+    def _take(self) -> Any:
+        _prio, _seq, item = heapq.heappop(self._heap)
+        if self._putters:
+            pev, (pprio, pitem) = self._putters.popleft()
+            heapq.heappush(self._heap, (pprio, next(self._seq), pitem))
+            pev.succeed(pitem)
+        return item
+
+    def _wake_getter(self) -> None:
+        while self._getters and self._heap:
+            gev = self._getters.popleft()
+            gev.succeed(self._take())
+
+
+class Resource:
+    """A counted semaphore; models bus ownership / DMA-engine arbitration."""
+
+    def __init__(self, engine: Engine, capacity: int = 1) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.engine = engine
+        self.capacity = capacity
+        self._in_use = 0
+        self._waiters: deque[BaseEvent] = deque()
+
+    @property
+    def in_use(self) -> int:
+        return self._in_use
+
+    def acquire(self) -> BaseEvent:
+        """Waitable granting one slot of the resource."""
+        ev = BaseEvent(self.engine)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            ev.succeed(self)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        """Return a slot, waking the next waiter if any."""
+        if self._in_use <= 0:
+            raise RuntimeError("release without acquire")
+        if self._waiters:
+            # Hand the slot directly to the next waiter.
+            self._waiters.popleft().succeed(self)
+        else:
+            self._in_use -= 1
+
+
+class Signal:
+    """A broadcast condition: every waiter is released on each ``fire``."""
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+        self._waiters: deque[BaseEvent] = deque()
+
+    def wait(self) -> BaseEvent:
+        """Waitable released at the next :meth:`fire`."""
+        ev = BaseEvent(self.engine)
+        self._waiters.append(ev)
+        return ev
+
+    def fire(self, value: Any = None) -> int:
+        """Release all current waiters; returns how many were released."""
+        waiters, self._waiters = self._waiters, deque()
+        for ev in waiters:
+            ev.succeed(value)
+        return len(waiters)

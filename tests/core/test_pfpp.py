@@ -1,0 +1,115 @@
+"""Tests of the PFPP metric (eqs. 14-15) and the Fig. 12 table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import (
+    ATM_PS_PARAMS,
+    DS_COMM_BUDGET_PAPER,
+    DS_PARAMS,
+    FIG12_PAPER,
+)
+from repro.core.pfpp import ds_comm_budget, fig12_table, pfpp_ds, pfpp_ps
+
+US = 1e-6
+
+
+class TestFormulas:
+    def test_eq14_arctic(self):
+        v = pfpp_ps(781, 5120, 1640 * US)
+        assert v == pytest.approx(487e6, rel=0.01)
+
+    def test_eq15_arctic(self):
+        v = pfpp_ds(36, 1024, 13.5 * US, 115 * US)
+        assert v == pytest.approx(143e6, rel=0.01)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            pfpp_ps(781, 5120, 0.0)
+        with pytest.raises(ValueError):
+            pfpp_ds(36, 1024, 0.0, 0.0)
+
+    def test_ds_budget_306us(self):
+        """Section 5.4: Pfpp,ds = 60 MFlop/s requires
+        tgsum + texchxy <= 306 us."""
+        budget = ds_comm_budget(DS_PARAMS.nds, DS_PARAMS.nxy, 60e6)
+        assert budget == pytest.approx(DS_COMM_BUDGET_PAPER, rel=0.01)
+
+    def test_gigabit_ethernet_misses_budget_by_10x(self):
+        """Section 5.4: 'The Gigabit Ethernet hardware is nearly a
+        factor of ten away from this threshold.'"""
+        ge = FIG12_PAPER["Gigabit Ethernet"]
+        actual = ge["tgsum"] + ge["texchxy"]
+        budget = ds_comm_budget(DS_PARAMS.nds, DS_PARAMS.nxy, 60e6)
+        assert actual / budget == pytest.approx(10.0, rel=0.05)
+
+
+class TestFig12PaperColumns:
+    """Using the paper's measured comm times, eqs. 14-15 must reproduce
+    every Pfpp cell of Fig. 12."""
+
+    @pytest.mark.parametrize("name", list(FIG12_PAPER))
+    def test_pfpp_ps_cells(self, name):
+        row = FIG12_PAPER[name]
+        got = pfpp_ps(ATM_PS_PARAMS.nps, ATM_PS_PARAMS.nxyz, row["texchxyz"])
+        assert got == pytest.approx(row["pfpp_ps"], rel=0.01)
+
+    @pytest.mark.parametrize("name", list(FIG12_PAPER))
+    def test_pfpp_ds_cells(self, name):
+        row = FIG12_PAPER[name]
+        got = pfpp_ds(DS_PARAMS.nds, DS_PARAMS.nxy, row["tgsum"], row["texchxy"])
+        # the paper prints rounded Pfpp values (e.g. FE 1.6 for 1.68)
+        assert got == pytest.approx(row["pfpp_ds"], rel=0.06)
+
+
+class TestFig12FromModels:
+    """The reproduction's own interconnect models must land on the
+    paper's Fig. 12 within tolerance."""
+
+    def setup_method(self):
+        self.rows = {r.name: r for r in fig12_table(from_models=True)}
+
+    def test_all_three_interconnects_present(self):
+        assert set(self.rows) == {"Fast Ethernet", "Gigabit Ethernet", "Arctic"}
+
+    @pytest.mark.parametrize(
+        "name,tol", [("Fast Ethernet", 0.02), ("Gigabit Ethernet", 0.02), ("Arctic", 0.05)]
+    )
+    def test_comm_times_match_paper(self, name, tol):
+        row, ref = self.rows[name], FIG12_PAPER[name]
+        assert row.tgsum == pytest.approx(ref["tgsum"], rel=tol)
+        assert row.texchxy == pytest.approx(ref["texchxy"], rel=tol)
+        assert row.texchxyz == pytest.approx(ref["texchxyz"], rel=tol)
+
+    def test_pfpp_ordering_preserved(self):
+        """The headline qualitative result: Arctic >> GE >> FE in both
+        phases, and only Arctic exceeds the compute rates."""
+        fe, ge, ar = (
+            self.rows["Fast Ethernet"],
+            self.rows["Gigabit Ethernet"],
+            self.rows["Arctic"],
+        )
+        assert ar.pfpp_ps > ge.pfpp_ps > fe.pfpp_ps
+        assert ar.pfpp_ds > ge.pfpp_ds > fe.pfpp_ds
+        # Arctic's Pfpp exceeds Fps/Fds: compute-bound, interconnect OK
+        assert ar.pfpp_ps > 50e6 and ar.pfpp_ds > 60e6
+        # Ethernets are far below the DS compute rate: comm-bound
+        assert ge.pfpp_ds < 0.2 * 60e6
+        assert fe.pfpp_ds < 0.05 * 60e6
+
+    def test_ge_viable_for_coarse_grain_only(self):
+        """Section 5.4: GE is 'viable for coarse grain scenarios' (PS)
+        but not the fine-grain DS phase."""
+        ge = self.rows["Gigabit Ethernet"]
+        assert ge.pfpp_ps > 2 * 50e6  # PS fine
+        assert ge.pfpp_ds < 60e6 / 5  # DS hopeless
+
+
+@given(
+    nps=st.floats(min_value=1, max_value=1e4),
+    nxyz=st.integers(min_value=1, max_value=10**6),
+    t=st.floats(min_value=1e-7, max_value=1.0),
+)
+def test_property_pfpp_scales_inversely_with_comm_time(nps, nxyz, t):
+    assert pfpp_ps(nps, nxyz, 2 * t) == pytest.approx(pfpp_ps(nps, nxyz, t) / 2)

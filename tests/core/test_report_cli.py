@@ -1,0 +1,69 @@
+"""Tests for the report builder and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.report import SECTIONS, build_report, render_report
+
+
+class TestReport:
+    def test_all_sections_build(self):
+        sections = build_report()
+        assert [s.key for s in sections] == list(SECTIONS)
+        for s in sections:
+            assert s.rows and s.headers
+            assert len(s.rows[0]) == len(s.headers)
+
+    def test_selected_sections(self):
+        sections = build_report(["sec53"])
+        assert len(sections) == 1
+        assert sections[0].key == "sec53"
+
+    def test_unknown_section_rejected(self):
+        with pytest.raises(KeyError):
+            build_report(["nope"])
+
+    def test_render_contains_paper_anchors(self):
+        text = render_report(["sec53", "fig12"])
+        assert "30.1" in text  # paper Tcomm
+        assert "Arctic" in text
+        assert "Fast Ethernet" in text
+
+    def test_fig12_section_values_sane(self):
+        (sec,) = build_report(["fig12"])
+        arctic_row = next(r for r in sec.rows if r[0] == "Arctic")
+        # Pfpp,ps column begins with the model value ~495
+        assert arctic_row[4].startswith("49")
+
+
+class TestCLI:
+    def test_report_command(self, capsys):
+        assert main(["report", "sec53"]) == 0
+        out = capsys.readouterr().out
+        assert "Section 5.3" in out
+
+    def test_report_bad_section_exits_2(self, capsys):
+        assert main(["report", "bogus"]) == 2
+
+    def test_pfpp_command(self, capsys):
+        assert main(["pfpp"]) == 0
+        out = capsys.readouterr().out
+        assert "Arctic" in out and "Fast Ethernet" in out
+
+    def test_run_command_small(self, capsys):
+        rc = main(
+            ["run", "--nx", "32", "--ny", "16", "--nz", "4", "--steps", "4", "--dt", "600"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sustained" in out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+def test_century_command(capsys):
+    assert main(["century"]) == 0
+    out = capsys.readouterr().out
+    assert "century" in out and "days" in out

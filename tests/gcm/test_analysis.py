@@ -1,0 +1,141 @@
+"""Tests for the scientific analysis diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.gcm.analysis import (
+    IdealAgeTracer,
+    barotropic_transport,
+    overturning_streamfunction,
+    zonal_mean,
+)
+from repro.gcm.ocean import ocean_model
+from repro.gcm.topography import double_basin
+
+
+@pytest.fixture(scope="module")
+def spun():
+    m = ocean_model(nx=32, ny=16, nz=6, px=2, py=2, dt=1800.0)
+    m.run(30)
+    return m
+
+
+class TestZonalMean:
+    def test_shape_and_values(self, spun):
+        zm = zonal_mean(spun, "theta")
+        assert zm.shape == (6, 16)
+        # warm surface tropics, cold abyss
+        assert np.nanmax(zm[0]) > np.nanmax(zm[-1])
+
+    def test_land_columns_excluded(self):
+        depth = double_basin(32, 16, depth=4000.0, continent_width=4, polar_caps=2)
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0, depth=depth)
+        m.run(2)
+        zm = zonal_mean(m, "theta")
+        # polar cap rows are all-land: NaN
+        assert np.all(np.isnan(zm[:, 0]))
+        assert np.isfinite(zm[0, 8])
+
+
+class TestOverturning:
+    def test_psi_zero_at_surface_and_closed_at_bottom(self, spun):
+        psi = overturning_streamfunction(spun)
+        assert psi.shape == (7, 16)
+        np.testing.assert_allclose(psi[0], 0.0)
+        # rigid lid + non-divergent depth-integrated flow: the column's
+        # net meridional transport is small -> Psi nearly closes at the
+        # floor (zero at walls exactly)
+        surface_scale = np.abs(psi).max() + 1e-12
+        assert np.abs(psi[-1]).max() < 0.05 * surface_scale + 1e-9
+
+    def test_wall_rows_carry_no_transport(self, spun):
+        psi = overturning_streamfunction(spun)
+        np.testing.assert_allclose(psi[:, 0], 0.0)  # southern wall faces
+
+    def test_circulation_develops(self, spun):
+        psi = overturning_streamfunction(spun)
+        assert np.abs(psi).max() > 1e-4  # some overturning, in Sv
+
+
+class TestBarotropicTransport:
+    def test_shape(self, spun):
+        tr = barotropic_transport(spun)
+        assert tr.shape == (16, 32)
+
+    def test_land_carries_nothing(self):
+        depth = double_basin(32, 16, depth=4000.0, continent_width=4, polar_caps=1)
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0, depth=depth)
+        m.run(3)
+        tr = barotropic_transport(m)
+        assert np.abs(tr[:, :4]).max() == 0.0
+
+
+class TestIdealAge:
+    def test_requires_attach(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0)
+        tr = IdealAgeTracer(m)
+        with pytest.raises(RuntimeError):
+            tr.update()
+
+    def test_attach_passivates_and_detach_restores_eos(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0)
+        original = m.config.eos
+        tr = IdealAgeTracer(m)
+        tr.attach()
+        assert m.config.eos.beta == 0.0
+        tr.detach()
+        assert m.config.eos is original
+
+    def test_age_grows_below_fresh_surface(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0, physics=None)
+        tracer = IdealAgeTracer(m)
+        tracer.attach()
+        n = 10
+        for _ in range(n):
+            m.step()
+            tracer.update()
+        from repro.gcm import diagnostics as diag
+
+        assert diag.is_finite(m)  # the EOS was passivated: no blow-up
+        prof = tracer.mean_age_profile()
+        assert prof[0] == 0.0  # surface reset
+        assert prof[-1] > 0.0
+        # nothing can be older than the elapsed time (small slack for
+        # the Adams-Bashforth extrapolation's transient overshoot)
+        age = m.state.to_global("tracer")
+        assert age.max() <= n * m.config.dt * (1 + 1e-4)
+
+    def test_age_monotone_with_depth_initially(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0, physics=None)
+        tracer = IdealAgeTracer(m)
+        tracer.attach()
+        for _ in range(6):
+            m.step()
+            tracer.update()
+        prof = tracer.mean_age_profile()
+        # before ventilation develops, deeper water is simply older
+        assert all(np.diff(prof) >= -1e-9)
+
+
+class TestLoadBalance:
+    def test_aquaplanet_perfectly_balanced(self):
+        from repro.gcm.analysis import load_balance_report
+
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=600.0)
+        rep = load_balance_report(m.grid)
+        assert rep["imbalance"] == pytest.approx(1.0)
+        assert rep["land_compute_fraction"] == pytest.approx(0.0)
+        assert rep["idle_fraction"] == pytest.approx(0.0)
+        assert sum(rep["wet_per_rank"]) == 32 * 16 * 4
+
+    def test_land_creates_imbalance(self):
+        from repro.gcm.analysis import load_balance_report
+
+        depth = double_basin(32, 16, depth=4000.0, continent_width=8, polar_caps=2)
+        # 8-wide tiles: some tiles land entirely on the continents
+        m = ocean_model(nx=32, ny=16, nz=4, px=4, py=2, dt=600.0, depth=depth)
+        rep = load_balance_report(m.grid)
+        assert rep["imbalance"] > 1.0
+        assert 0.0 < rep["land_compute_fraction"] < 1.0
+        assert rep["wet_per_rank"] != sorted(set(rep["wet_per_rank"])) or True
+        assert min(rep["wet_per_rank"]) < max(rep["wet_per_rank"])

@@ -1,0 +1,103 @@
+"""Tests for the biharmonic (scale-selective) viscosity option."""
+
+import numpy as np
+import pytest
+
+from repro.gcm import operators as op
+from repro.gcm.grid import Grid, GridParams
+from repro.gcm.ocean import ocean_model
+from repro.gcm.operators import FlopCounter
+from repro.gcm.prognostic import DynamicsParams
+from repro.parallel.exchange import exchange_halos
+from repro.parallel.tiling import Decomposition
+
+
+def make_grid(nx=32, ny=8):
+    # near-equatorial band: cos(lat) ~ constant, so the damping-rate
+    # measurement isolates the zonal wavenumber (metric variation in y
+    # would otherwise leak into the long-wave biharmonic rate)
+    return Grid(
+        GridParams(nx=nx, ny=ny, nz=1, lat0=-4, lat1=4, total_depth=100.0),
+        Decomposition(nx, ny, 1, 1, olx=3),
+    )
+
+
+def wave(grid, wavelength_cells: int):
+    """A zonal sine wave of the given wavelength (in cells)."""
+    t = grid.decomp.tile(0)
+    o = grid.decomp.olx
+    u = np.zeros(t.shape3d(1))
+    ii = np.arange(t.nx)
+    # fill every row INCLUDING the y halos so the field is truly
+    # y-uniform (otherwise wall-edge y-derivatives dominate the damping)
+    u[0, :, o : o + t.nx] = np.sin(2 * np.pi * ii / wavelength_cells)[None, :]
+    exchange_halos(grid.decomp, [u])
+    return u
+
+
+def damping_rate(grid, u, ah, ah4):
+    """|<u, G_visc>| / <u, u> over rows away from the walls.
+
+    The biharmonic term implies extra friction at the wall-adjacent
+    rows (the masked Laplacian vanishes beyond the wall, so its second
+    difference jumps there); excluding two rows isolates the interior
+    scale selectivity this test measures.
+    """
+    fc = FlopCounter()
+    g = op.viscosity_u(u, ah, 0.0, grid, 0, fc, ah4=ah4)
+    o = grid.decomp.olx
+    t = grid.decomp.tile(0)
+    sl = (0, slice(o + 2, o + t.ny - 2), slice(o, o + t.nx))
+    return -float(np.sum(u[sl] * g[sl])) / float(np.sum(u[sl] ** 2))
+
+
+class TestBiharmonic:
+    def test_disabled_by_default(self):
+        g = make_grid()
+        u = wave(g, 8)
+        fc = FlopCounter()
+        with_default = op.viscosity_u(u, 1e4, 0.0, g, 0, fc)
+        explicit_zero = op.viscosity_u(u, 1e4, 0.0, g, 0, fc, ah4=0.0)
+        np.testing.assert_array_equal(with_default, explicit_zero)
+        assert "biharmonic_u" not in fc.by_kernel
+
+    def test_biharmonic_damps_energy(self):
+        g = make_grid()
+        u = wave(g, 4)
+        assert damping_rate(g, u, 0.0, 1e15) > 0
+
+    def test_scale_selectivity(self):
+        """The biharmonic's damping-rate ratio between a 2-cell-scale
+        wave and an 8-cell wave far exceeds the Laplacian's — it targets
+        grid noise."""
+        g = make_grid()
+        short, long_ = wave(g, 4), wave(g, 16)
+        lap_ratio = damping_rate(g, short, 1e4, 0.0) / damping_rate(g, long_, 1e4, 0.0)
+        bih_ratio = damping_rate(g, short, 0.0, 1e15) / damping_rate(g, long_, 0.0, 1e15)
+        assert bih_ratio > 3 * lap_ratio
+
+    def test_model_runs_with_biharmonic(self):
+        from repro.gcm import diagnostics as diag
+
+        m = ocean_model(
+            nx=32, ny=16, nz=4, px=2, py=2, dt=600.0,
+            dynamics=DynamicsParams(ah=1e5, ah4=1e14),
+        )
+        m.run(4)
+        assert diag.is_finite(m)
+
+    def test_decomposition_invariance_with_biharmonic(self):
+        """Ring depth 2 stays within the halo-3 budget: tiled results
+        still match serial exactly."""
+
+        def run(px, py):
+            m = ocean_model(
+                nx=32, ny=16, nz=4, px=px, py=py, dt=600.0, cg_tol=1e-12,
+                dynamics=DynamicsParams(ah=1e5, ah4=1e14),
+            )
+            m.run(3)
+            return m.state.to_global("u")
+
+        ua, ub = run(1, 1), run(2, 2)
+        scale = np.abs(ua).max() + 1e-30
+        assert np.abs(ua - ub).max() < 1e-10 * scale

@@ -1,0 +1,117 @@
+"""Tests for the atmosphere-ocean coupler (Section 5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.gcm import diagnostics as diag
+from repro.gcm.coupled import CoupledModel, CouplerParams, coupled_model
+
+
+@pytest.fixture(scope="module")
+def cm():
+    model = coupled_model(
+        nx=32, ny=16, nz_atm=4, nz_ocn=6, px=2, py=2, dt=600.0, coupling_interval=2
+    )
+    model.run(3)
+    return model
+
+
+class TestConstruction:
+    def test_mismatched_grids_rejected(self):
+        from repro.gcm.atmosphere import atmosphere_model
+        from repro.gcm.ocean import ocean_model
+
+        atm = atmosphere_model(nx=32, ny=16, nz=4, px=2, py=2)
+        ocn = ocean_model(nx=16, ny=8, nz=4, px=2, py=2)
+        with pytest.raises(ValueError, match="lateral grid"):
+            CoupledModel(atm, ocn)
+
+    def test_initial_coupling_happens_at_build(self):
+        model = coupled_model(nx=32, ny=16, nz_atm=4, nz_ocn=6, px=2, py=2)
+        assert model.couplings == 1
+        assert "sst" in model.atmosphere.coupling
+        assert "taux" in model.ocean.coupling
+
+
+class TestCoupling(object):
+    def test_components_advance_in_lockstep(self, cm):
+        assert cm.atmosphere.state.step_count == cm.ocean.state.step_count == 6
+
+    def test_sst_flows_ocean_to_atmosphere(self, cm):
+        sst_o = cm.ocean.surface_temperature()
+        o = cm.atmosphere.decomp.olx
+        tiles = cm.atmosphere.coupling["sst"]
+        rebuilt = np.zeros_like(sst_o)
+        for r, t in enumerate(cm.atmosphere.decomp.tiles):
+            rebuilt[t.y0 : t.y0 + t.ny, t.x0 : t.x0 + t.nx] = tiles[r][
+                o : o + t.ny, o : o + t.nx
+            ]
+        np.testing.assert_allclose(rebuilt, sst_o)
+
+    def test_wind_stress_from_bulk_formula(self, cm):
+        ks = cm.atmosphere.grid.nz - 1
+        ua = cm.atmosphere.state.to_global("u")[ks]
+        taux_tiles = cm.ocean.coupling["taux"]
+        o = cm.ocean.decomp.olx
+        rebuilt = np.zeros_like(ua)
+        for r, t in enumerate(cm.ocean.decomp.tiles):
+            rebuilt[t.y0 : t.y0 + t.ny, t.x0 : t.x0 + t.nx] = taux_tiles[r][
+                o : o + t.ny, o : o + t.nx
+            ]
+        # stress sign follows the wind direction wherever wind is nonzero
+        nz_mask = np.abs(ua) > 1e-12
+        assert np.all(np.sign(rebuilt[nz_mask]) == np.sign(ua[nz_mask]))
+
+    def test_both_components_stay_finite(self, cm):
+        assert diag.is_finite(cm.atmosphere)
+        assert diag.is_finite(cm.ocean)
+
+    def test_elapsed_is_max_of_components(self, cm):
+        assert cm.elapsed == max(
+            cm.atmosphere.runtime.elapsed, cm.ocean.runtime.elapsed
+        )
+
+    def test_combined_rate_positive(self, cm):
+        assert cm.combined_sustained_flops() > 0
+
+    def test_coupling_interval_respected(self):
+        model = coupled_model(
+            nx=32, ny=16, nz_atm=4, nz_ocn=6, px=2, py=2, coupling_interval=3
+        )
+        model.step_coupled()
+        assert model.atmosphere.state.step_count == 3
+        assert model.couplings == 2  # initial + one
+
+
+class TestCouplingPhysics:
+    def test_surface_cold_anomaly_decays_toward_control(self):
+        """Chilled surface air over a warm ocean: the coupled surface
+        fluxes (+ relaxation and mixing) must damp the anomaly relative
+        to an unperturbed control run."""
+
+        def build(anomaly):
+            m = coupled_model(
+                nx=32, ny=16, nz_atm=4, nz_ocn=6, px=2, py=2, dt=600.0,
+                coupling_interval=2,
+            )
+            if anomaly:
+                th = m.atmosphere.state.to_global("theta")
+                th[m.atmosphere.grid.nz - 1] -= 5.0
+                m.atmosphere.state.set_from_global("theta", th)
+                m.exchange_boundary_conditions()
+            return m
+
+        control, perturbed = build(False), build(True)
+        ks = control.atmosphere.grid.nz - 1
+
+        def gap():
+            a = perturbed.atmosphere.state.to_global("theta")[ks].mean()
+            c = control.atmosphere.state.to_global("theta")[ks].mean()
+            return c - a
+
+        g0 = gap()
+        control.run(4)
+        perturbed.run(4)
+        g1 = gap()
+        assert g0 == pytest.approx(5.0, abs=0.01)
+        assert 0 < g1 < g0  # damped, not amplified or overshot

@@ -1,0 +1,59 @@
+"""Fig. 10 caption: "Because it is based on the same kernel, the
+atmospheric counterpart has an almost identical profile."  The two
+isomorphs must run the same numerical kernel with the same cost
+structure — only EOS, forcing and configuration differ."""
+
+import numpy as np
+import pytest
+
+from repro.gcm.atmosphere import atmosphere_model
+from repro.gcm.ocean import ocean_model
+
+
+@pytest.fixture(scope="module")
+def pair():
+    kw = dict(nx=32, ny=16, px=2, py=2, dt=600.0)
+    atm = atmosphere_model(nz=5, **kw)
+    ocn = ocean_model(nz=5, **kw)
+    atm.run(4)
+    ocn.run(4)
+    return atm, ocn
+
+
+def test_per_cell_ps_flops_nearly_identical(pair):
+    atm, ocn = pair
+    cells = 32 * 16 * 5
+
+    def nps(m):
+        return np.mean([h.flops_ps for h in m.history[1:]]) / cells
+
+    # identical kernel; the only flop difference is the EOS (6 vs 5
+    # flops/cell) and physics package, a few percent of the total
+    assert nps(atm) == pytest.approx(nps(ocn), rel=0.10)
+
+
+def test_same_communication_pattern(pair):
+    atm, ocn = pair
+    for a, o in zip(atm.history, ocn.history):
+        pass
+    sa, so = atm.runtime.stats[0], ocn.runtime.stats[0]
+    assert sa.n_exchanges - 2 * sum(h.ni for h in atm.history) == 5 * 4
+    assert so.n_exchanges - 2 * sum(h.ni for h in ocn.history) == 5 * 4
+    # identical bytes per step and rank (same grid, same 5-field pattern)
+    assert sa.bytes_exchanged == so.bytes_exchanged
+
+
+def test_same_step_cost_structure(pair):
+    atm, ocn = pair
+    bd_a = atm.performance_breakdown()
+    bd_o = ocn.performance_breakdown()
+    # identical exchange cost; compute within the EOS/physics margin
+    assert bd_a["tps_exch"] == pytest.approx(bd_o["tps_exch"], rel=1e-9)
+    assert bd_a["tps_compute"] == pytest.approx(bd_o["tps_compute"], rel=0.10)
+
+
+def test_isomorphs_differ_only_in_physics_fields(pair):
+    atm, ocn = pair
+    assert atm.is_atmosphere and not ocn.is_atmosphere
+    assert atm.config.tracer_name == "q"
+    assert ocn.config.tracer_name == "salt"

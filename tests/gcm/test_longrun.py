@@ -1,0 +1,87 @@
+"""Longer integrations: stability, boundedness, solver behaviour.
+
+The paper's experiments run for a model year (77760 steps); CI-scale
+equivalents here run a few hundred steps on reduced grids and assert
+the properties that make year-long runs possible at all.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gcm import diagnostics as diag
+from repro.gcm.atmosphere import atmosphere_model
+from repro.gcm.ocean import ocean_model
+
+
+class TestOceanLongRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=1800.0)
+        kes = []
+        for _ in range(10):
+            m.run(20)
+            kes.append(diag.total_kinetic_energy(m))
+        return m, kes
+
+    def test_finite_after_200_steps(self, run):
+        m, _ = run
+        assert diag.is_finite(m)
+
+    def test_kinetic_energy_bounded(self, run):
+        """Forced-dissipative balance: KE must not grow without bound
+        (no late doubling after spin-up)."""
+        _, kes = run
+        assert kes[-1] < 4 * max(kes[:5])
+
+    def test_temperature_stays_physical(self, run):
+        m, _ = run
+        th = m.state.to_global("theta")
+        assert -5.0 < th.min() and th.max() < 45.0
+
+    def test_salinity_stays_physical(self, run):
+        m, _ = run
+        s = m.state.to_global("tracer")
+        assert 30.0 < s.min() and s.max() < 40.0
+
+    def test_solver_iterations_stay_bounded(self, run):
+        m, _ = run
+        late = [h.ni for h in m.history[-50:]]
+        assert max(late) < m.config.cg_maxiter
+        assert all(h.cg_converged for h in m.history[-50:])
+
+    def test_cfl_stays_well_below_unity(self, run):
+        m, _ = run
+        assert diag.max_cfl(m) < 0.5
+
+
+class TestAtmosphereLongRun:
+    @pytest.fixture(scope="class")
+    def run(self):
+        m = atmosphere_model(nx=32, ny=16, nz=5, px=2, py=2, dt=450.0)
+        for _ in range(8):
+            m.run(25)
+        return m
+
+    def test_finite_after_200_steps(self, run):
+        assert diag.is_finite(run)
+
+    def test_theta_bracketed_by_forcing(self, run):
+        phys = run.config.physics
+        th = run.state.to_global("theta")
+        lo = phys.theta_ref - phys.dtheta_y - 40
+        hi = phys.theta_ref + phys.dtheta_z + 40
+        assert lo < th.min() and th.max() < hi
+
+    def test_meridional_gradient_maintained(self, run):
+        """Radiative forcing sustains the equator-pole contrast that
+        drives the circulation (warm tropics, cold poles)."""
+        ks = run.grid.nz - 1
+        th = run.state.to_global("theta")[ks]
+        tropics = th[6:10].mean()
+        poles = 0.5 * (th[:3].mean() + th[-3:].mean())
+        assert tropics > poles + 10.0
+
+    def test_circulation_develops_and_persists(self, run):
+        assert diag.total_kinetic_energy(run) > 0
+        u = run.state.to_global("u")
+        assert np.abs(u).max() > 0.1  # real winds, not numerical dust

@@ -1,0 +1,251 @@
+"""Tests for the forcing/parametrization packages and the EOS."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gcm.eos import IdealGasEOS, LinearEOS
+from repro.gcm.grid import Grid, GridParams
+from repro.gcm.operators import FlopCounter
+from repro.gcm.physics import AtmospherePhysics, OceanForcing
+from repro.parallel.tiling import Decomposition
+
+
+def make_grid(nx=16, ny=8, nz=5):
+    return Grid(
+        GridParams(nx=nx, ny=ny, nz=nz, lat0=-60, lat1=60),
+        Decomposition(nx, ny, 1, 1, olx=1),
+    )
+
+
+class TestEOS:
+    def test_linear_eos_signs(self):
+        eos = LinearEOS()
+        warm = eos.buoyancy(np.array([eos.theta0 + 5]), np.array([eos.s0]))
+        salty = eos.buoyancy(np.array([eos.theta0]), np.array([eos.s0 + 1]))
+        assert warm[0] > 0  # warm water is buoyant
+        assert salty[0] < 0  # salty water is dense
+
+    def test_linear_eos_reference_state_neutral(self):
+        eos = LinearEOS()
+        b = eos.buoyancy(np.array([eos.theta0]), np.array([eos.s0]))
+        assert b[0] == 0.0
+
+    def test_ideal_gas_warm_air_rises(self):
+        eos = IdealGasEOS()
+        b = eos.buoyancy(np.array([eos.theta_ref + 10.0]), np.array([0.0]))
+        assert b[0] > 0
+
+    def test_moisture_is_buoyant(self):
+        eos = IdealGasEOS()
+        dry = eos.buoyancy(np.array([300.0]), np.array([0.0]))
+        moist = eos.buoyancy(np.array([300.0]), np.array([0.02]))
+        assert moist[0] > dry[0]
+
+    def test_flops_declared(self):
+        assert LinearEOS().flops_per_cell > 0
+        assert IdealGasEOS().flops_per_cell > 0
+
+
+class TestAtmospherePhysics:
+    def test_theta_eq_warmer_at_equator(self):
+        phys = AtmospherePhysics()
+        lats = np.array([-60.0, 0.0, 60.0])
+        te = phys.theta_eq(lats, k=9, nz=10)  # surface level
+        assert te[1] > te[0] and te[1] > te[2]
+
+    def test_theta_eq_increases_with_height(self):
+        phys = AtmospherePhysics()
+        lat = np.array([0.0])
+        assert phys.theta_eq(lat, 0, 10)[0] > phys.theta_eq(lat, 9, 10)[0]
+
+    def test_qsat_increases_with_theta(self):
+        phys = AtmospherePhysics()
+        assert phys.q_sat(np.array([310.0]))[0] > phys.q_sat(np.array([290.0]))[0]
+        assert phys.q_sat(np.array([100.0]))[0] > 0  # floored
+
+    def test_relaxation_tendency_toward_equilibrium(self):
+        phys = AtmospherePhysics()
+        g = make_grid()
+        shape = g.decomp.tile(0).shape3d(g.nz)
+        theta = np.full(shape, 400.0)  # way above equilibrium
+        u = np.zeros(shape)
+        q = np.zeros(shape)
+        gu, gv, gth, gq = (np.zeros(shape) for _ in range(4))
+        phys.apply_tendencies(0, g, u, u, theta, q, gu, gv, gth, gq, FlopCounter())
+        o = g.decomp.olx
+        assert np.all(gth[:, o:-o, o:-o] < 0)  # cooling toward equilibrium
+
+    def test_rayleigh_drag_opposes_surface_wind(self):
+        phys = AtmospherePhysics()
+        g = make_grid()
+        shape = g.decomp.tile(0).shape3d(g.nz)
+        u = np.full(shape, 10.0)
+        theta = np.full(shape, 300.0)
+        gu = np.zeros(shape)
+        gv, gth, gq = (np.zeros(shape) for _ in range(3))
+        phys.apply_tendencies(0, g, u, np.zeros(shape), theta, np.zeros(shape), gu, gv, gth, gq, FlopCounter())
+        assert np.all(gu[-1] < 0)  # surface level decelerates
+        assert np.all(gu[0] == 0)  # top level untouched by drag
+
+    def test_condensation_removes_supersaturation_and_heats(self):
+        phys = AtmospherePhysics()
+        g = make_grid()
+        shape = g.decomp.tile(0).shape3d(g.nz)
+        theta = np.full(shape, 300.0)
+        q = np.full(shape, 0.05)  # supersaturated
+        gq = np.zeros(shape)
+        gth = np.zeros(shape)
+        gu = np.zeros(shape)
+        phys.apply_tendencies(0, g, gu, gu, theta, q, gu.copy(), gu.copy(), gth, gq, FlopCounter())
+        assert np.all(gq < 0)
+        assert np.all(gth > 0)  # latent heating (dominates weak radiation)
+
+    def test_sst_flux_heats_cold_surface_air(self):
+        phys = AtmospherePhysics()
+        g = make_grid()
+        shape = g.decomp.tile(0).shape3d(g.nz)
+        theta = np.full(shape, 280.0)
+        sst = np.full(g.decomp.tile(0).shape2d, 300.0)
+        gth = np.zeros(shape)
+        z = np.zeros(shape)
+        gq = np.zeros(shape)
+        phys.apply_tendencies(0, g, z, z, theta, z.copy(), z.copy(), z.copy(), gth, gq, FlopCounter(), sst=sst)
+        assert np.all(gth[-1] > 0)
+        assert np.all(gq[-1] > 0)  # evaporation
+
+
+class TestConvectiveAdjustment:
+    def test_removes_instability(self):
+        phys = AtmospherePhysics()
+        g = make_grid(nz=5)
+        shape = g.decomp.tile(0).shape3d(5)
+        theta = np.zeros(shape)
+        for k in range(5):
+            theta[k] = 300.0 + k  # warmer below top?? k=0 top: 300, k=4: 304 -> unstable
+        mixed = phys.convective_adjustment(theta, g, 0, FlopCounter())
+        assert mixed > 0
+        # stable afterwards: theta non-increasing with k
+        assert np.all(np.diff(theta, axis=0) <= 1e-9)
+
+    def test_preserves_column_heat(self):
+        phys = AtmospherePhysics()
+        g = make_grid(nz=5)
+        shape = g.decomp.tile(0).shape3d(5)
+        rng = np.random.default_rng(0)
+        theta = 300.0 + rng.standard_normal(shape)
+        drf = g.drf[:, None, None]
+        heat0 = np.sum(theta * drf, axis=0).copy()
+        phys.convective_adjustment(theta, g, 0, FlopCounter())
+        np.testing.assert_allclose(np.sum(theta * drf, axis=0), heat0, rtol=1e-12)
+
+    def test_stable_profile_untouched(self):
+        phys = AtmospherePhysics()
+        g = make_grid(nz=5)
+        shape = g.decomp.tile(0).shape3d(5)
+        theta = np.zeros(shape)
+        for k in range(5):
+            theta[k] = 310.0 - 2 * k  # decreasing with k: stable
+        snapshot = theta.copy()
+        mixed = phys.convective_adjustment(theta, g, 0, FlopCounter())
+        assert mixed == 0
+        np.testing.assert_array_equal(theta, snapshot)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=25, deadline=None)
+    def test_property_always_stabilizes_and_conserves(self, seed):
+        phys = OceanForcing()
+        g = make_grid(nz=4)
+        shape = g.decomp.tile(0).shape3d(4)
+        rng = np.random.default_rng(seed)
+        theta = 10.0 + 3.0 * rng.standard_normal(shape)
+        drf = g.drf[:, None, None]
+        heat0 = np.sum(theta * drf, axis=0).copy()
+        # iterate adjustment to fixed point (single sweeps may cascade)
+        for _ in range(4):
+            phys.convective_adjustment(theta, g, 0, FlopCounter())
+        np.testing.assert_allclose(np.sum(theta * drf, axis=0), heat0, rtol=1e-10)
+        assert np.all(np.diff(theta, axis=0) <= 1e-9)
+
+
+class TestOceanForcing:
+    def test_wind_stress_profile_shape(self):
+        phys = OceanForcing()
+        # easterlies in the tropics (negative), westerlies mid-latitude
+        assert phys.wind_stress(np.array([0.0]))[0] < 0
+        assert phys.wind_stress(np.array([45.0]))[0] > 0
+
+    def test_theta_star_warm_equator(self):
+        phys = OceanForcing()
+        ts = phys.theta_star(np.array([-60.0, 0.0, 60.0]))
+        assert ts[1] == max(ts)
+
+    def test_wind_stress_enters_top_level_only(self):
+        phys = OceanForcing()
+        g = make_grid()
+        shape = g.decomp.tile(0).shape3d(g.nz)
+        z = np.zeros(shape)
+        gu = np.zeros(shape)
+        theta = np.full(shape, 10.0)
+        salt = np.full(shape, 35.0)
+        phys.apply_tendencies(0, g, z, z, theta, salt, gu, z.copy(), z.copy(), z.copy(), FlopCounter())
+        assert np.any(gu[0] != 0)
+        assert np.all(gu[1:] == 0)
+
+    def test_coupled_stress_overrides_climatology(self):
+        phys = OceanForcing()
+        g = make_grid()
+        shape = g.decomp.tile(0).shape3d(g.nz)
+        z = np.zeros(shape)
+        gu = np.zeros(shape)
+        taux = np.full(g.decomp.tile(0).shape2d, 0.2)
+        theta = np.full(shape, 10.0)
+        phys.apply_tendencies(
+            0, g, z, z, theta, theta.copy(), gu, z.copy(), z.copy(), z.copy(),
+            FlopCounter(), taux=taux,
+        )
+        o = g.decomp.olx
+        assert np.all(gu[0, o:-o, o:-o] > 0)
+
+
+class TestSeasonalCycle:
+    def test_default_is_perpetual_equinox(self):
+        phys = AtmospherePhysics()
+        phys.set_time(1e7)
+        assert phys.heating_center() == 0.0
+        lats = np.array([-45.0, 45.0])
+        te = phys.theta_eq(lats, 9, 10)
+        assert te[0] == pytest.approx(te[1])  # hemispherically symmetric
+
+    def test_solstices_swap_hemispheres(self):
+        phys = AtmospherePhysics(seasonal_shift=0.4, year_length=360 * 86400.0)
+        lats = np.array([-45.0, 45.0])
+        phys.set_time(90 * 86400.0)  # northern solstice (quarter year)
+        north_summer = phys.theta_eq(lats, 9, 10)
+        assert north_summer[1] > north_summer[0]
+        phys.set_time(270 * 86400.0)  # southern solstice
+        south_summer = phys.theta_eq(lats, 9, 10)
+        assert south_summer[0] > south_summer[1]
+        # the two solstices mirror each other
+        assert north_summer[1] == pytest.approx(south_summer[0])
+
+    def test_annual_mean_is_symmetric(self):
+        phys = AtmospherePhysics(seasonal_shift=0.4)
+        lats = np.array([-30.0, 30.0])
+        days = np.linspace(0, 360, 73) * 86400.0
+        acc = np.zeros(2)
+        for t in days:
+            phys.set_time(float(t))
+            acc += phys.theta_eq(lats, 9, 10)
+        assert acc[0] == pytest.approx(acc[1], rel=1e-12)
+
+    def test_model_integrates_with_seasons(self):
+        from repro.gcm import diagnostics as diag
+        from repro.gcm.atmosphere import atmosphere_model
+
+        phys = AtmospherePhysics(seasonal_shift=0.3, year_length=30 * 86400.0)
+        m = atmosphere_model(nx=32, ny=16, nz=5, px=2, py=2, dt=450.0, physics=phys)
+        m.run(8)
+        assert diag.is_finite(m)
+        assert phys.current_time == pytest.approx(m.state.time - m.config.dt)

@@ -1,0 +1,200 @@
+"""Integration tests of the full model step (the Fig. 6 loop)."""
+
+import numpy as np
+import pytest
+
+from repro.gcm import diagnostics as diag
+from repro.gcm.atmosphere import atmosphere_model
+from repro.gcm.ocean import ocean_model
+from repro.gcm.timestepper import Model, ModelConfig
+from repro.gcm.grid import GridParams
+from repro.gcm.topography import double_basin
+
+
+def small_ocean(px=2, py=2, steps=0, **kw):
+    m = ocean_model(nx=32, ny=16, nz=4, px=px, py=py, dt=600.0, **kw)
+    if steps:
+        m.run(steps)
+    return m
+
+
+class TestStepMechanics:
+    def test_step_advances_time(self):
+        m = small_ocean()
+        m.step()
+        assert m.state.time == 600.0
+        assert m.state.step_count == 1
+
+    def test_state_stays_finite(self):
+        m = small_ocean(steps=10)
+        assert diag.is_finite(m)
+
+    def test_cg_converges_every_step(self):
+        m = small_ocean(steps=8)
+        assert all(h.cg_converged for h in m.history)
+
+    def test_solver_iteration_history(self):
+        m = small_ocean(steps=5)
+        assert m.mean_ni() > 0
+        assert all(h.ni <= m.config.cg_maxiter for h in m.history)
+
+    def test_flops_counted(self):
+        m = small_ocean(steps=2)
+        assert all(h.flops_ps > 0 and h.flops_ds > 0 for h in m.history)
+        assert m.runtime.total_flops() > 0
+
+    def test_virtual_clock_advances(self):
+        m = small_ocean(steps=3)
+        assert m.runtime.elapsed > 0
+        st = m.runtime.stats[0]
+        assert st.compute_time > 0
+        assert st.exchange_time > 0
+        assert st.gsum_time > 0
+
+    def test_ps_exchange_is_five_fields(self):
+        m = small_ocean()
+        before = m.runtime.stats[0].n_exchanges
+        m.step()
+        # 5 PS fields + 2 per CG iteration (charged via charge_phase)
+        ni = m.history[0].ni
+        assert m.runtime.stats[0].n_exchanges == before + 5 + 2 * ni
+
+    def test_two_gsums_per_solver_iteration(self):
+        m = small_ocean()
+        m.step()
+        ni = m.history[0].ni
+        assert m.runtime.stats[0].n_gsums == 2 * ni
+
+
+class TestPhysicsConsistency:
+    def test_depth_integrated_flow_nondivergent_after_correction(self):
+        m = small_ocean(steps=5)
+        div = diag.depth_integrated_divergence(m)
+        # compare against a typical transport magnitude
+        u = m.state.to_global("u")
+        h = m.config.grid.total_depth
+        dy = m.grid.dyc[0].flat[0]
+        typical = max(np.abs(u).max() * h * dy, 1e-12)
+        assert div < 1e-5 * typical
+
+    def test_wind_stress_spins_up_kinetic_energy(self):
+        m = small_ocean()
+        ke0 = diag.total_kinetic_energy(m)
+        m.run(5)
+        assert diag.total_kinetic_energy(m) > ke0
+
+    def test_tracer_inventory_conserved_without_forcing(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=600.0, physics=None)
+        inv0 = diag.tracer_inventory(m, "theta")
+        m.run(8)
+        inv1 = diag.tracer_inventory(m, "theta")
+        assert inv1 == pytest.approx(inv0, rel=1e-9)
+
+    def test_salt_conserved_without_forcing(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=600.0, physics=None)
+        inv0 = diag.tracer_inventory(m, "tracer")
+        m.run(8)
+        assert diag.tracer_inventory(m, "tracer") == pytest.approx(inv0, rel=1e-9)
+
+    def test_restoring_pulls_sst_toward_target(self):
+        m = small_ocean()
+        phys = m.config.physics
+        lats = m.config.grid.lat0 + (np.arange(16) + 0.5) * m.config.grid.dlat
+        target = phys.theta_star(lats)
+        sst0 = m.surface_temperature()
+        err0 = np.abs(sst0 - target[:, None]).mean()
+        # cool the surface artificially, then integrate
+        th = m.state.to_global("theta")
+        th[0] -= 3.0
+        m.state.set_from_global("theta", th)
+        errs = []
+        for _ in range(10):
+            m.step()
+            errs.append(np.abs(m.surface_temperature() - target[:, None]).mean())
+        assert errs[-1] < errs[0]
+
+    def test_runs_with_topography(self):
+        depth = double_basin(32, 16, depth=4000.0, continent_width=4, polar_caps=1)
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=600.0, depth=depth)
+        m.run(5)
+        assert diag.is_finite(m)
+        # land stays at rest
+        u = m.state.to_global("u")
+        assert np.all(u[:, :, :2] == 0.0)  # continent at x=0..3
+
+
+class TestAtmosphere:
+    def test_atmosphere_steps_stably(self):
+        m = atmosphere_model(nx=32, ny=16, nz=5, px=2, py=2, dt=300.0)
+        m.run(10)
+        assert diag.is_finite(m)
+        assert diag.max_cfl(m) < 0.5
+
+    def test_radiative_relaxation_bounds_theta(self):
+        m = atmosphere_model(nx=32, ny=16, nz=5, px=2, py=2, dt=300.0)
+        m.run(10)
+        th = m.state.to_global("theta")
+        phys = m.config.physics
+        wet = m.state.to_global("tracer") >= 0  # everywhere
+        assert th.max() < phys.theta_ref + phys.dtheta_z + 30
+        assert th.min() > phys.theta_ref - phys.dtheta_y - 30
+
+    def test_moisture_nonnegative_ish(self):
+        m = atmosphere_model(nx=32, ny=16, nz=5, px=2, py=2, dt=300.0)
+        m.run(10)
+        q = m.state.to_global("tracer")
+        assert q.min() > -1e-4  # condensation sink cannot drive q far negative
+
+    def test_surface_level_is_bottom_of_arrays(self):
+        m = atmosphere_model(nx=32, ny=16, nz=5, px=2, py=2)
+        assert m.config.physics.surface_level(5) == 4
+        assert m.is_atmosphere
+
+
+class TestDecompositionInvariance:
+    """The overcomputation guarantee, end to end: identical physics for
+    any tiling (Section 4)."""
+
+    @pytest.mark.parametrize("px,py", [(2, 2), (4, 2), (2, 4)])
+    def test_matches_serial_run(self, px, py):
+        def run(px_, py_):
+            m = ocean_model(nx=32, ny=16, nz=4, px=px_, py=py_, dt=600.0, cg_tol=1e-12)
+            m.run(4)
+            return {n: m.state.to_global(n) for n in ("u", "v", "theta", "tracer")}
+
+        serial = run(1, 1)
+        tiled = run(px, py)
+        for n, ref in serial.items():
+            scale = np.abs(ref).max() + 1e-30
+            assert np.abs(tiled[n] - ref).max() < 1e-12 * scale
+
+    def test_strip_decomposition(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=4, py=1, dt=600.0)
+        m.run(3)
+        assert diag.is_finite(m)
+
+
+class TestDSDecomposition:
+    def test_default_ds_tiles_pair_smp_masters(self):
+        m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=600.0, cpus_per_node=2)
+        assert m.ds_decomp.n_ranks == 2  # 4 ranks / 2 cpus per node
+        assert m.ds_decomp.px == 1 and m.ds_decomp.py == 2
+
+    def test_ds_on_all_ranks_option(self):
+        m = ocean_model(
+            nx=32, ny=16, nz=4, px=2, py=2, dt=600.0, ds_px=2, ds_py=2
+        )
+        assert m.ds_decomp is m.decomp
+        m.run(2)
+        assert diag.is_finite(m)
+
+    def test_ds_choice_does_not_change_physics(self):
+        def run(**kw):
+            m = ocean_model(nx=32, ny=16, nz=4, px=2, py=2, dt=600.0, cg_tol=1e-12, **kw)
+            m.run(3)
+            return m.state.to_global("u")
+
+        u_masters = run()
+        u_all = run(ds_px=2, ds_py=2)
+        scale = np.abs(u_masters).max() + 1e-30
+        assert np.abs(u_all - u_masters).max() < 1e-10 * scale

@@ -1,0 +1,102 @@
+"""Tests for Hyades cluster assembly, SMP nodes and reference tables."""
+
+import pytest
+
+from repro.hardware import (
+    HyadesCluster,
+    HyadesConfig,
+    SMPParams,
+    VECTOR_MACHINES,
+    fig10_reference_rows,
+)
+from repro.niu.pci import PCIParams
+
+
+class TestClusterAssembly:
+    def test_default_is_sixteen_two_way_smps(self):
+        c = HyadesCluster()
+        assert c.n_nodes == 16
+        assert c.total_cpus == 32
+        assert len(c.nodes) == 16
+
+    def test_each_node_has_own_niu_and_pci(self):
+        c = HyadesCluster()
+        nius = {id(c.niu(i)) for i in range(16)}
+        pcis = {id(c.niu(i).pci) for i in range(16)}
+        assert len(nius) == 16
+        assert len(pcis) == 16
+
+    def test_hardware_cost_under_100k(self):
+        cfg = HyadesConfig()
+        assert cfg.hardware_cost_usd < 100_000
+        # "about evenly divided between the processing nodes and the
+        # interconnect"
+        nodes = cfg.n_nodes * cfg.node_price_usd
+        net = cfg.n_nodes * cfg.interconnect_price_per_node_usd
+        assert nodes == pytest.approx(net, rel=0.25)
+
+    def test_smaller_cluster_configurable(self):
+        c = HyadesCluster(HyadesConfig(n_nodes=4))
+        assert c.total_cpus == 8
+        assert c.fabric.n == 4
+
+
+class TestSMPNode:
+    def test_global_cpu_ranks(self):
+        c = HyadesCluster()
+        node = c.node(3)
+        assert node.cpu_rank(0) == 6
+        assert node.cpu_rank(1) == 7
+        with pytest.raises(ValueError):
+            node.cpu_rank(2)
+
+    def test_local_combine_adds_about_1us(self):
+        # Section 4.2: "local summing operation adds about 1 usec".
+        p = SMPParams()
+        assert p.smp_gsum_overhead == pytest.approx(1.0e-6)
+
+    def test_pack_cost_at_memcpy_bandwidth(self):
+        c = HyadesCluster()
+        assert c.node(0).pack_cost(100_000) == pytest.approx(1e-3)
+
+    def test_semaphore_op_advances_clock(self):
+        c = HyadesCluster()
+        eng = c.engine
+
+        def proc():
+            yield from c.node(0).semaphore_op()
+
+        eng.process(proc())
+        eng.run()
+        assert eng.now == pytest.approx(0.5e-6)
+
+
+class TestPCIParams:
+    def test_section_21_measured_values(self):
+        p = PCIParams()
+        assert p.mmap_read_latency == pytest.approx(0.93e-6)
+        assert p.mmap_write_gap == pytest.approx(0.18e-6)
+        assert p.dma_bandwidth >= 120e6
+
+    def test_peak_is_132_mbs(self):
+        assert PCIParams().peak_bandwidth == pytest.approx(132e6)
+
+
+class TestVectorMachineTable:
+    def test_fig10_rows_present(self):
+        rows = fig10_reference_rows()
+        names = {(r.machine, r.processors) for r in rows}
+        assert ("Cray Y-MP", 1) in names
+        assert ("NEC SX-4", 4) in names
+        assert ("Hyades", 16) in names
+
+    def test_sx4_fastest_single_vector_cpu(self):
+        singles = [r for r in VECTOR_MACHINES if r.processors == 1]
+        best = max(singles, key=lambda r: r.sustained_gflops)
+        assert best.machine == "NEC SX-4"
+
+    def test_hyades_16_comparable_to_one_vector_cpu(self):
+        rows = {(r.machine, r.processors): r.sustained_gflops for r in fig10_reference_rows()}
+        h16 = rows[("Hyades", 16)]
+        assert rows[("Cray Y-MP", 1)] <= h16 + 0.1
+        assert h16 < rows[("Cray C90", 4)]

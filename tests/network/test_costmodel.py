@@ -1,0 +1,190 @@
+"""Tests of the analytic interconnect cost models against paper values."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.costmodel import (
+    ARCTIC_GSUM_MEASURED,
+    ARCTIC_GSUM_SMP_MEASURED,
+    CommCostModel,
+    arctic_cost_model,
+    fast_ethernet_cost_model,
+    gigabit_ethernet_cost_model,
+)
+from repro.network.myrinet import myrinet_hpvm_cost_model
+
+US = 1e-6
+
+# Reference-configuration halo message sizes (see DESIGN.md): atmosphere
+# 2.8125-degree grid, 4x4 tiles of 32x16 columns, 8-byte reals.
+ATM_3D_EDGES = [3840, 3840, 7680, 7680]  # halo width 3, 10 levels
+OCN_3D_EDGES = [11520, 11520, 23040, 23040]  # halo width 3, 30 levels
+DS_2D_EDGES = [256, 256, 256, 256]  # 8 masters, 32x32 tiles, halo 1
+
+
+class TestArcticPointToPoint:
+    def setup_method(self):
+        self.m = arctic_cost_model()
+
+    def test_1kb_transfer_bandwidth_fig7(self):
+        """Section 4.1: 8.6 us overhead reduces a 1-KB transfer to
+        ~56.8 MB/s perceived bandwidth."""
+        bw = self.m.perceived_bandwidth(1024)
+        assert bw == pytest.approx(56.8e6, rel=0.02)
+
+    def test_9kb_reaches_90_percent_of_peak(self):
+        bw = self.m.perceived_bandwidth(9 * 1024)
+        assert bw >= 0.9 * 110e6
+
+    def test_large_transfer_approaches_110_mbs(self):
+        assert self.m.perceived_bandwidth(1 << 20) == pytest.approx(110e6, rel=0.01)
+
+    def test_zero_bytes(self):
+        assert self.m.perceived_bandwidth(0) == 0.0
+        assert self.m.transfer_time(0) == pytest.approx(8.6 * US)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            self.m.transfer_time(-1)
+
+
+class TestArcticGlobalSum:
+    def setup_method(self):
+        self.m = arctic_cost_model()
+
+    @pytest.mark.parametrize("n,expect", sorted(ARCTIC_GSUM_MEASURED.items()))
+    def test_measured_table(self, n, expect):
+        assert self.m.gsum_time(n) == expect
+
+    @pytest.mark.parametrize("n,expect", sorted(ARCTIC_GSUM_SMP_MEASURED.items()))
+    def test_measured_smp_table(self, n, expect):
+        assert self.m.gsum_time(n, smp=True) == expect
+
+    def test_fit_formula_for_untabulated_sizes(self):
+        # 32-way: (4.67*5 - 0.95) us from the least-squares fit.
+        assert self.m.gsum_time(32) == pytest.approx((4.67 * 5 - 0.95) * US)
+
+    def test_fit_close_to_measurements(self):
+        for n, t in ARCTIC_GSUM_MEASURED.items():
+            fit = 4.67 * US * math.log2(n) - 0.95 * US
+            assert fit == pytest.approx(t, rel=0.08)
+
+    def test_single_node_gsum_free(self):
+        assert self.m.gsum_time(1) == 0.0
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            self.m.gsum_time(0)
+
+    def test_message_count_is_n_log_n(self):
+        # Section 4.2: N log2 N messages over log2 N rounds.
+        assert self.m.messages_per_gsum(8) == 24
+        assert self.m.messages_per_gsum(16) == 64
+        assert self.m.messages_per_gsum(1) == 0
+
+
+class TestArcticExchangePredictsFig11:
+    """The composed first-principles exchange model should land on the
+    paper's measured Fig. 11 stand-alone benchmark values."""
+
+    def setup_method(self):
+        self.m = arctic_cost_model()
+
+    def test_atmosphere_3d_exchange_mixmode(self):
+        t = self.m.exchange_time(ATM_3D_EDGES, mixmode=True)
+        assert t == pytest.approx(1640 * US, rel=0.03)
+
+    def test_ocean_3d_exchange_mixmode(self):
+        t = self.m.exchange_time(OCN_3D_EDGES, mixmode=True)
+        assert t == pytest.approx(4573 * US, rel=0.03)
+
+    def test_ds_2d_exchange_masters_only(self):
+        t = self.m.exchange_time(DS_2D_EDGES, mixmode=False)
+        assert t == pytest.approx(115 * US, rel=0.08)
+
+    def test_mixmode_costs_more_than_single(self):
+        single = self.m.exchange_time(ATM_3D_EDGES, mixmode=False)
+        mixed = self.m.exchange_time(ATM_3D_EDGES, mixmode=True)
+        # Master relays the slave's exchange at 0.7x bandwidth, but the
+        # slave's pack overlaps the master's DMA: 1.5-2x a single rank.
+        assert 1.5 * single < mixed < 2.0 * single
+
+
+class TestEthernetCalibration:
+    """FE/GE models must reproduce the Fig. 12 stand-alone values."""
+
+    def test_fe_gsum(self):
+        assert fast_ethernet_cost_model().gsum_time(16) == pytest.approx(942 * US, rel=0.01)
+
+    def test_ge_gsum(self):
+        assert gigabit_ethernet_cost_model().gsum_time(16) == pytest.approx(1193 * US, rel=0.01)
+
+    def test_fe_exchanges(self):
+        m = fast_ethernet_cost_model()
+        atm_2d = [1024, 1024, 2048, 2048]  # halo 1, 10->1 level: 128/256 cols? see note
+        # Fig. 12 uses the same 16-rank atmosphere configuration.
+        t3 = m.exchange_time(ATM_3D_EDGES, n_ranks=16)
+        assert t3 == pytest.approx(100000 * US, rel=0.01)
+        t2 = m.exchange_time([128, 128, 256, 256], n_ranks=16)
+        assert t2 == pytest.approx(10008 * US, rel=0.01)
+
+    def test_ge_exchanges(self):
+        m = gigabit_ethernet_cost_model()
+        t3 = m.exchange_time(ATM_3D_EDGES)
+        assert t3 == pytest.approx(5742 * US, rel=0.01)
+        t2 = m.exchange_time([128, 128, 256, 256])
+        assert t2 == pytest.approx(1789 * US, rel=0.01)
+
+    def test_fe_slower_than_ge_for_bulk(self):
+        fe, ge = fast_ethernet_cost_model(), gigabit_ethernet_cost_model()
+        assert fe.exchange_time(ATM_3D_EDGES, n_ranks=16) > ge.exchange_time(ATM_3D_EDGES)
+
+    def test_ge_gsum_slower_than_fe(self):
+        # The curious Fig. 12 fact: early GE NICs had *higher* small-message
+        # latency than FE; the calibrated models preserve it.
+        assert gigabit_ethernet_cost_model().gsum_time(16) > fast_ethernet_cost_model().gsum_time(16)
+
+
+class TestMyrinetHPVM:
+    def test_1kb_block_42_mbs(self):
+        m = myrinet_hpvm_cost_model()
+        assert m.perceived_bandwidth(1024) == pytest.approx(42e6, rel=0.02)
+
+    def test_16_way_barrier_50us(self):
+        m = myrinet_hpvm_cost_model()
+        assert m.barrier_time(16) == pytest.approx(50 * US, rel=0.01)
+
+    def test_barrier_ratio_vs_arctic_exceeds_2_5(self):
+        # Section 6: "more than 2.5 times longer than Hyades".
+        ratio = myrinet_hpvm_cost_model().barrier_time(16) / arctic_cost_model().gsum_time(16)
+        assert ratio > 2.5
+
+    def test_1kb_25_percent_slower_than_arctic_exchange(self):
+        myri = myrinet_hpvm_cost_model().perceived_bandwidth(1024)
+        arctic = arctic_cost_model().perceived_bandwidth(1024)
+        assert myri == pytest.approx(0.75 * arctic, rel=0.05)
+
+
+@given(st.integers(min_value=1, max_value=1 << 22))
+def test_property_perceived_bandwidth_monotone(nbytes):
+    m = arctic_cost_model()
+    assert m.perceived_bandwidth(nbytes) <= m.perceived_bandwidth(nbytes + 4096)
+
+
+@given(st.integers(min_value=0, max_value=1 << 22))
+def test_property_transfer_time_at_least_overhead(nbytes):
+    m = arctic_cost_model()
+    assert m.transfer_time(nbytes) >= m.transfer_overhead
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100_000), min_size=1, max_size=8)
+)
+def test_property_exchange_additive_in_edges(edges):
+    m = arctic_cost_model()
+    total = m.exchange_time(edges)
+    parts = sum(m.exchange_time([e]) for e in edges)
+    assert total == pytest.approx(parts, rel=1e-9)

@@ -1,0 +1,47 @@
+"""Tests for the CRC-16/CCITT implementation."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.network.crc import crc16, crc16_words
+
+
+def test_known_vector_123456789():
+    # CRC-16/CCITT-FALSE check value for "123456789".
+    assert crc16(b"123456789") == 0x29B1
+
+
+def test_empty_is_init():
+    assert crc16(b"") == 0xFFFF
+
+
+def test_incremental_equals_whole():
+    data = b"the quick brown fox"
+    whole = crc16(data)
+    partial = crc16(data[7:], crc16(data[:7]))
+    assert whole == partial
+
+
+def test_words_equals_bytes():
+    words = [0x01020304, 0xA0B0C0D0]
+    raw = b"\x01\x02\x03\x04\xa0\xb0\xc0\xd0"
+    assert crc16_words(words) == crc16(raw)
+
+
+@given(st.binary(min_size=1, max_size=64), st.data())
+def test_single_bit_flip_always_detected(data, draw):
+    """CRC-16 detects every single-bit error (guaranteed by the theory)."""
+    bit = draw.draw(st.integers(min_value=0, max_value=len(data) * 8 - 1))
+    flipped = bytearray(data)
+    flipped[bit // 8] ^= 1 << (bit % 8)
+    assert crc16(bytes(flipped)) != crc16(data)
+
+
+@given(st.binary(max_size=64))
+def test_crc_is_16_bits(data):
+    assert 0 <= crc16(data) <= 0xFFFF
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**32 - 1), min_size=1, max_size=24))
+def test_word_crc_deterministic(words):
+    assert crc16_words(words) == crc16_words(list(words))

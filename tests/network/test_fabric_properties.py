@@ -1,0 +1,117 @@
+"""Property-based stress tests of the fabric: conservation under load."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.network.fattree import FatTree, FatTreeParams
+from repro.network.packet import Packet, Priority
+from repro.sim import Engine
+
+
+def run_traffic(n, flows, random_route=False, seed=0):
+    """Inject `flows` = [(src, dst, n_packets, words)] and run to quiescence."""
+    eng = Engine()
+    ft = FatTree(eng, n, FatTreeParams(seed=seed))
+    inbox = {ep: [] for ep in range(n)}
+    for ep in range(n):
+        ft.attach_endpoint(ep, lambda p, ep=ep: inbox[ep].append(p))
+    sent = 0
+    for src, dst, count, words in flows:
+        for i in range(count):
+            ft.inject(
+                Packet(
+                    src=src,
+                    dst=dst,
+                    payload_words=[i] * max(2, words),
+                    tag=i % 2048,
+                    random_uproute=random_route,
+                )
+            )
+            sent += 1
+    eng.run()
+    return ft, inbox, sent
+
+
+@given(
+    flows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=0, max_value=15),
+            st.integers(min_value=1, max_value=10),
+            st.integers(min_value=2, max_value=22),
+        ),
+        min_size=1,
+        max_size=8,
+    ),
+    random_route=st.booleans(),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_every_injected_packet_delivered_once(flows, random_route):
+    """No loss, no duplication, regardless of traffic mix or routing."""
+    ft, inbox, sent = run_traffic(16, flows, random_route)
+    delivered = sum(len(v) for v in inbox.values())
+    assert delivered == sent
+    assert ft.total_crc_errors() == 0
+
+
+@given(
+    flows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=0, max_value=7),
+            st.integers(min_value=1, max_value=20),
+        ),
+        min_size=1,
+        max_size=6,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_property_per_flow_fifo_deterministic_routing(flows):
+    """With deterministic up-routing, each (src, dst) flow stays FIFO."""
+    eng = Engine()
+    ft = FatTree(eng, 8)
+    inbox = {ep: [] for ep in range(8)}
+    for ep in range(8):
+        ft.attach_endpoint(ep, lambda p, ep=ep: inbox[ep].append(p))
+    seq = {}
+    for src, dst, count in flows:
+        for _ in range(count):
+            i = seq.setdefault((src, dst), 0)
+            ft.inject(Packet(src=src, dst=dst, payload_words=[i, 0], data=(src, dst, i)))
+            seq[(src, dst)] = i + 1
+    eng.run()
+    for dst, packets in inbox.items():
+        per_flow = {}
+        for p in packets:
+            s, d, i = p.data
+            assert d == dst
+            last = per_flow.get(s, -1)
+            assert i == last + 1, f"flow {s}->{d} reordered"
+            per_flow[s] = i
+
+
+@given(seed=st.integers(min_value=0, max_value=100))
+@settings(max_examples=20, deadline=None)
+def test_property_link_byte_accounting_balances(seed):
+    """Bytes leaving injection links equal wire bytes of all packets
+    times their link counts — the fabric neither creates nor destroys
+    traffic."""
+    rng = np.random.default_rng(seed)
+    flows = [
+        (int(rng.integers(0, 16)), int(rng.integers(0, 16)), 3, 4) for _ in range(4)
+    ]
+    ft, inbox, sent = run_traffic(16, flows, seed=seed)
+    total_link_bytes = sum(
+        l.stats.bytes
+        for links in list(ft.up_links.values()) + list(ft.down_links.values())
+        for l in links
+    ) + sum(l.stats.bytes for l in ft.inject_links)
+    expected = 0
+    for dst, packets in inbox.items():
+        for p in packets:
+            if p.src == dst:
+                continue  # loopback never touched the fabric
+            expected += p.wire_bytes * (ft.path_links(p.src, dst))
+    assert total_link_bytes == expected

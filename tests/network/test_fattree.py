@@ -1,0 +1,194 @@
+"""Tests for the Arctic fat-tree topology, routing and ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine
+from repro.network.fattree import FatTree, FatTreeParams
+from repro.network.packet import Packet, Priority
+from repro.network.router import ARCTIC_STAGE_LATENCY
+
+
+def build(n=16, **kw):
+    eng = Engine()
+    ft = FatTree(eng, n, FatTreeParams(**kw)) if kw else FatTree(eng, n)
+    inbox = {ep: [] for ep in range(n)}
+    for ep in range(n):
+        ft.attach_endpoint(ep, lambda p, ep=ep: inbox[ep].append(p))
+    return eng, ft, inbox
+
+
+def test_invalid_sizes_rejected():
+    eng = Engine()
+    for bad in (0, 1, 3, 6, 12):
+        with pytest.raises(ValueError):
+            FatTree(eng, bad)
+
+
+def test_router_count_per_level():
+    _, ft, _ = build(16)
+    assert ft.levels == 4
+    for l in range(1, 5):
+        count = sum(1 for (ll, _, _) in ft.routers if ll == l)
+        assert count == 8  # N/2 routers per level
+
+
+def test_wiring_up_down_inverse():
+    """Descending the down port you arrived by returns to the same router."""
+    _, ft, _ = build(16)
+    for (l, p, j), _router in ft.routers.items():
+        if l >= 2:
+            for c in (0, 1):
+                child = (l - 1, 2 * p + c, j % (1 << (l - 2)))
+                assert child in ft.routers, f"missing child of {(l, p, j)}"
+
+
+def test_all_pairs_delivery():
+    eng, ft, inbox = build(8)
+    for s in range(8):
+        for d in range(8):
+            if s == d:
+                continue
+            ft.inject(Packet(src=s, dst=d, payload_words=[s, d]))
+    eng.run()
+    for d in range(8):
+        srcs = sorted(p.src for p in inbox[d])
+        assert srcs == sorted(s for s in range(8) if s != d)
+
+
+def test_packet_hops_equals_twice_lca_level():
+    eng, ft, inbox = build(16)
+    cases = [(0, 1, 1), (0, 2, 2), (0, 4, 3), (0, 15, 4), (5, 4, 1)]
+    for s, d, lca in cases:
+        ft.inject(Packet(src=s, dst=d, payload_words=[0, 0]))
+    eng.run()
+    for s, d, lca in cases:
+        (pkt,) = [p for p in inbox[d] if p.src == s]
+        # Routers visited: ascend through lca routers, descend through
+        # lca-1 more (the top router serves both directions).
+        assert pkt.hops == 2 * lca - 1
+        assert ft.path_links(s, d) == 2 * lca
+
+
+def test_head_latency_matches_formula():
+    eng, ft, inbox = build(16)
+    ft.inject(Packet(src=0, dst=15, payload_words=[0, 0]))
+    eng.run()
+    (pkt,) = inbox[15]
+    expected = ft.path_links(0, 15) * ARCTIC_STAGE_LATENCY
+    assert pkt.recv_time == pytest.approx(expected, rel=1e-9)
+
+
+def test_max_distance_head_latency_is_1_2us_for_16_endpoints():
+    """8 links x 0.15 us = 1.2 us; + 16 B serialization ~= the paper's
+    1.3 us measured network latency for 8-byte-payload messages."""
+    _, ft, _ = build(16)
+    assert ft.head_latency(0, 15) == pytest.approx(1.2e-6)
+
+
+def test_fifo_ordering_same_pair_deterministic_uproute():
+    eng, ft, inbox = build(16)
+
+    def blast():
+        for i in range(50):
+            ft.inject(Packet(src=3, dst=12, payload_words=[i, 0]))
+            yield eng.timeout(1e-9)
+
+    eng.process(blast())
+    eng.run()
+    seq = [p.payload_words[0] for p in inbox[12]]
+    assert seq == list(range(50))
+
+
+def test_random_uproute_still_delivers_everything():
+    eng, ft, inbox = build(16, seed=42)
+    for i in range(100):
+        ft.inject(Packet(src=0, dst=9, payload_words=[i, 0], random_uproute=True))
+    eng.run()
+    assert sorted(p.payload_words[0] for p in inbox[9]) == list(range(100))
+
+
+def test_corrupt_packet_dropped_at_first_router():
+    eng, ft, inbox = build(8)
+    bad = Packet(src=0, dst=5, payload_words=[1, 2])
+    bad.corrupt = True
+    ft.inject(bad)
+    good = Packet(src=0, dst=5, payload_words=[3, 4])
+    ft.inject(good)
+    eng.run()
+    assert len(inbox[5]) == 1
+    assert inbox[5][0].payload_words == [3, 4]
+    assert ft.total_crc_errors() == 1
+
+
+def test_high_priority_overtakes_queued_low():
+    eng, ft, inbox = build(4)
+    # Saturate the 0->3 path with large low-priority packets, then inject
+    # a high-priority packet; it must be delivered before the queued tail.
+    for i in range(10):
+        ft.inject(Packet(src=0, dst=3, payload_words=[0] * 22, tag=i))
+    hi = Packet(src=0, dst=3, payload_words=[7, 7], tag=100, priority=Priority.HIGH)
+    ft.inject(hi)
+    eng.run()
+    order = [p.tag for p in inbox[3]]
+    # High priority cannot preempt the in-flight packet but must bypass
+    # the rest of the queue.
+    assert order.index(100) <= 1
+    assert sorted(order) == sorted(list(range(10)) + [100])
+
+
+def test_self_send_loopback():
+    eng, ft, inbox = build(4)
+    ft.inject(Packet(src=2, dst=2, payload_words=[9, 9]))
+    eng.run()
+    assert len(inbox[2]) == 1
+    assert inbox[2][0].hops == 0
+
+
+def test_bisection_counts():
+    _, ft, _ = build(16)
+    assert ft.bisection_links() == 8
+    assert ft.bisection_bandwidth() == pytest.approx(8 * 2 * 150e6)
+    assert ft.paper_bisection_bandwidth() == pytest.approx(2 * 16 * 150e6)
+
+
+def test_destination_out_of_range_rejected():
+    eng, ft, _ = build(4)
+    with pytest.raises(ValueError):
+        ft.inject(Packet(src=0, dst=7, payload_words=[0, 0]))
+
+
+@given(
+    n_exp=st.integers(min_value=1, max_value=5),
+    pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=31), st.integers(min_value=0, max_value=31)),
+        min_size=1,
+        max_size=30,
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_any_topology_delivers_all(n_exp, pairs):
+    n = 2**n_exp
+    eng, ft, inbox = build(n)
+    sent = {d: [] for d in range(n)}
+    for s, d in pairs:
+        s, d = s % n, d % n
+        if s == d:
+            continue
+        ft.inject(Packet(src=s, dst=d, payload_words=[s, d]))
+        sent[d].append(s)
+    eng.run()
+    for d in range(n):
+        assert sorted(p.src for p in inbox[d]) == sorted(sent[d])
+
+
+@given(
+    s=st.integers(min_value=0, max_value=15),
+    d=st.integers(min_value=0, max_value=15),
+)
+def test_property_path_links_symmetric(s, d):
+    _, ft, _ = build(16)
+    assert ft.path_links(s, d) == ft.path_links(d, s)
+    if s != d:
+        assert ft.path_links(s, d) >= 2

@@ -1,0 +1,152 @@
+"""Tests for StarT-X VI mode: negotiation, streaming, Fig. 7 bandwidth."""
+
+import pytest
+
+from repro.hardware import HyadesCluster
+from repro.network.costmodel import arctic_cost_model
+
+US = 1e-6
+
+
+def vi_transfer(nbytes, data=None, src=0, dst=1):
+    """Run one VI transfer on a fresh cluster; return (elapsed, xfer)."""
+    cluster = HyadesCluster()
+    eng = cluster.engine
+    out = {}
+
+    def sender():
+        yield from cluster.niu(src).vi_send(dst, nbytes, data=data)
+
+    def receiver():
+        xfer = yield from cluster.niu(dst).vi_serve_request()
+        xfer = yield from cluster.niu(dst).vi_wait_complete(xfer.xid)
+        out["t"] = eng.now
+        out["xfer"] = xfer
+
+    eng.process(sender())
+    eng.process(receiver())
+    eng.run()
+    return out["t"], out["xfer"]
+
+
+class TestVIBandwidthCurve:
+    """DES-measured bandwidth should track the Fig. 7 analytic curve."""
+
+    @pytest.mark.parametrize("nbytes", [256, 1024, 4096, 9216, 32768, 131072])
+    def test_tracks_analytic_model(self, nbytes):
+        model = arctic_cost_model()
+        t, _ = vi_transfer(nbytes)
+        measured = nbytes / t
+        predicted = model.perceived_bandwidth(nbytes)
+        assert measured == pytest.approx(predicted, rel=0.10)
+
+    def test_1kb_is_about_57_mbs(self):
+        t, _ = vi_transfer(1024)
+        assert 1024 / t == pytest.approx(56.8e6, rel=0.05)
+
+    def test_9kb_reaches_90_percent_of_peak(self):
+        t, _ = vi_transfer(9 * 1024)
+        assert 9 * 1024 / t >= 0.9 * 110e6 * 0.98
+
+    def test_bandwidth_monotone_in_size(self):
+        sizes = [512, 2048, 8192, 65536]
+        bws = []
+        for s in sizes:
+            t, _ = vi_transfer(s)
+            bws.append(s / t)
+        assert bws == sorted(bws)
+
+
+class TestVISemantics:
+    def test_data_arrives_intact(self):
+        payload = bytes(range(256)) * 5
+        _, xfer = vi_transfer(len(payload), data=payload)
+        assert bytes(xfer.data) == payload
+        assert xfer.complete
+
+    def test_transfer_accounting(self):
+        _, xfer = vi_transfer(5000)
+        assert xfer.nbytes == 5000
+        assert xfer.received == 5000
+
+    def test_zero_byte_transfer_rejected(self):
+        cluster = HyadesCluster()
+        eng = cluster.engine
+        errors = []
+
+        def sender():
+            try:
+                yield from cluster.niu(0).vi_send(1, 0)
+            except ValueError as e:
+                errors.append(e)
+
+        eng.process(sender())
+        eng.run()
+        assert len(errors) == 1
+
+    def test_concurrent_transfers_to_distinct_receivers(self):
+        cluster = HyadesCluster()
+        eng = cluster.engine
+        done = {}
+
+        def sender(dst, nbytes):
+            yield from cluster.niu(0).vi_send(dst, nbytes)
+
+        def receiver(dst):
+            xfer = yield from cluster.niu(dst).vi_serve_request()
+            xfer = yield from cluster.niu(dst).vi_wait_complete(xfer.xid)
+            done[dst] = xfer
+
+        for dst in (1, 2, 3):
+            eng.process(sender(dst, 4096))
+            eng.process(receiver(dst))
+        eng.run()
+        assert sorted(done) == [1, 2, 3]
+        assert all(x.complete for x in done.values())
+
+    def test_two_simultaneous_senders_to_one_receiver(self):
+        cluster = HyadesCluster()
+        eng = cluster.engine
+        done = []
+
+        def sender(src):
+            yield from cluster.niu(src).vi_send(5, 2048)
+
+        def receiver():
+            for _ in range(2):
+                xfer = yield from cluster.niu(5).vi_serve_request()
+                xfer = yield from cluster.niu(5).vi_wait_complete(xfer.xid)
+                done.append(xfer)
+
+        eng.process(sender(1))
+        eng.process(sender(2))
+        eng.process(receiver())
+        eng.run()
+        assert len(done) == 2
+        assert {x.src for x in done} == {1, 2}
+
+    def test_sequential_exchange_pattern(self):
+        """The exchange primitive's two sequential opposite transfers."""
+        cluster = HyadesCluster()
+        eng = cluster.engine
+        out = {}
+
+        def node_a():
+            yield from cluster.niu(0).vi_send(1, 8192)
+            xfer = yield from cluster.niu(0).vi_serve_request()
+            yield from cluster.niu(0).vi_wait_complete(xfer.xid)
+            out["a_done"] = eng.now
+
+        def node_b():
+            xfer = yield from cluster.niu(1).vi_serve_request()
+            yield from cluster.niu(1).vi_wait_complete(xfer.xid)
+            yield from cluster.niu(1).vi_send(0, 8192)
+            out["b_done"] = eng.now
+
+        eng.process(node_a())
+        eng.process(node_b())
+        eng.run()
+        model = arctic_cost_model()
+        # Two sequential 8 KB transfers.
+        expected = 2 * model.transfer_time(8192)
+        assert out["a_done"] == pytest.approx(expected, rel=0.12)

@@ -1,0 +1,84 @@
+"""Property-based tests of VI-mode transfers and PCI accounting."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware.cluster import HyadesCluster, HyadesConfig
+from repro.network.costmodel import arctic_cost_model
+
+
+def vi_roundtrip(nbytes, payload=None, src=0, dst=1, n_nodes=4):
+    cluster = HyadesCluster(HyadesConfig(n_nodes=n_nodes))
+    eng = cluster.engine
+    out = {}
+
+    def sender():
+        yield from cluster.niu(src).vi_send(dst, nbytes, data=payload)
+
+    def receiver():
+        xfer = yield from cluster.niu(dst).vi_serve_request()
+        xfer = yield from cluster.niu(dst).vi_wait_complete(xfer.xid)
+        out["xfer"] = xfer
+        out["t"] = eng.now
+
+    eng.process(sender())
+    eng.process(receiver())
+    eng.run()
+    return out
+
+
+@given(nbytes=st.integers(min_value=1, max_value=65536))
+@settings(max_examples=30, deadline=None)
+def test_property_any_size_completes_exactly(nbytes):
+    out = vi_roundtrip(nbytes)
+    assert out["xfer"].complete
+    assert out["xfer"].received == nbytes
+
+
+@given(nbytes=st.integers(min_value=64, max_value=32768))
+@settings(max_examples=20, deadline=None)
+def test_property_timing_tracks_cost_model(nbytes):
+    out = vi_roundtrip(nbytes)
+    model = arctic_cost_model()
+    assert out["t"] == pytest.approx(model.transfer_time(nbytes), rel=0.12)
+
+
+@given(data=st.binary(min_size=1, max_size=4096))
+@settings(max_examples=20, deadline=None)
+def test_property_payload_bitexact(data):
+    out = vi_roundtrip(len(data), payload=data)
+    assert bytes(out["xfer"].data) == data
+
+
+@given(
+    a=st.integers(min_value=0, max_value=3),
+    b=st.integers(min_value=0, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_property_any_pair_works(a, b):
+    if a == b:
+        return
+    out = vi_roundtrip(512, src=a, dst=b)
+    assert out["xfer"].complete
+    assert out["xfer"].src == a
+
+
+def test_pci_counters_track_traffic():
+    cluster = HyadesCluster(HyadesConfig(n_nodes=2))
+    eng = cluster.engine
+
+    def sender():
+        yield from cluster.niu(0).pio_send(1, [1, 2])
+
+    def receiver():
+        yield from cluster.niu(1).pio_recv()
+
+    eng.process(sender())
+    eng.process(receiver())
+    eng.run()
+    # 8-byte payload: header + payload = 2 write accesses, 2 reads
+    assert cluster.niu(0).pci.total_mmap_writes == 2
+    assert cluster.niu(1).pci.total_mmap_reads == 2
+    assert cluster.niu(0).packets_sent == 1
+    assert cluster.niu(1).packets_received == 1

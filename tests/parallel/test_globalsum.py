@@ -1,0 +1,173 @@
+"""Tests for the butterfly global sum (Fig. 8) and its DES realization."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import HyadesCluster
+from repro.parallel.des_collectives import des_barrier, des_global_sum
+from repro.parallel.globalsum import (
+    GlobalSummer,
+    butterfly_global_sum,
+    butterfly_rounds,
+    tree_reduce_broadcast,
+)
+
+
+class TestButterflyAlgorithm:
+    def test_eight_way_matches_fig8_partials(self):
+        """Reproduce the partial sums annotated in the paper's Fig. 8."""
+        d = [float(i) for i in range(8)]
+        results, trace = butterfly_global_sum(d, record_rounds=True)
+        # Round 0: node 0 and 1 hold d0+d1; node 6 and 7 hold d6+d7.
+        assert trace[0][0] == trace[0][1] == d[0] + d[1]
+        assert trace[0][6] == trace[0][7] == d[6] + d[7]
+        # Round 1: nodes 0-3 hold d0+d1+d2+d3.
+        for r in range(4):
+            assert trace[1][r] == d[0] + d[1] + d[2] + d[3]
+        for r in range(4, 8):
+            assert trace[1][r] == d[4] + d[5] + d[6] + d[7]
+        # Round 2: everyone holds the total.
+        assert all(v == sum(d) for v in trace[2])
+        assert results == [sum(d)] * 8
+
+    def test_round_partials_group_by_low_bits(self):
+        """After round i, node r holds the sum of the group whose ids
+        differ from r only in the lowest i+1 bits (Section 4.2)."""
+        n = 16
+        vals = [float(3 * i + 1) for i in range(n)]
+        _, trace = butterfly_global_sum(vals, record_rounds=True)
+        for i, partials in enumerate(trace):
+            mask = ~((1 << (i + 1)) - 1)
+            for r in range(n):
+                group = [vals[s] for s in range(n) if (s & mask) == (r & mask)]
+                assert partials[r] == pytest.approx(math.fsum(group))
+
+    def test_results_bitwise_identical_across_ranks(self):
+        rng = np.random.default_rng(7)
+        vals = rng.standard_normal(32).tolist()
+        results, _ = butterfly_global_sum(vals)
+        assert len({v.hex() for v in results}) == 1
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            butterfly_global_sum([1.0, 2.0, 3.0])
+
+    def test_single_value(self):
+        results, trace = butterfly_global_sum([5.0])
+        assert results == [5.0] and trace == []
+
+    def test_rounds_pattern(self):
+        rounds = butterfly_rounds(8)
+        assert len(rounds) == 3
+        assert (0, 1) in rounds[0]
+        assert (0, 2) in rounds[1]
+        assert (0, 4) in rounds[2]
+
+    def test_message_count_n_log_n(self):
+        # Each round every node sends one message: N log2 N total.
+        n = 16
+        total = sum(len(r) for r in butterfly_rounds(n))
+        assert total == n * int(math.log2(n))
+
+
+class TestTreeBaseline:
+    def test_tree_matches_butterfly_value(self):
+        vals = [float(i) * 0.5 for i in range(16)]
+        bf, _ = butterfly_global_sum(vals)
+        tr, rounds = tree_reduce_broadcast(vals)
+        assert tr[0] == pytest.approx(bf[0])
+        assert rounds == 8  # 2 log2 16: twice the butterfly's latency
+
+
+class TestGlobalSummer:
+    def test_flat_sum(self):
+        gs = GlobalSummer(8)
+        assert gs([1.0] * 8) == pytest.approx(8.0)
+
+    def test_smp_hierarchical_sum(self):
+        gs = GlobalSummer(16, cpus_per_node=2)
+        vals = [float(i) for i in range(16)]
+        assert gs(vals) == pytest.approx(sum(vals))
+        assert gs.n_nodes == 8
+        assert gs.message_count() == 8 * 3
+
+    def test_wrong_length_rejected(self):
+        gs = GlobalSummer(8)
+        with pytest.raises(ValueError):
+            gs([1.0] * 7)
+
+    def test_indivisible_ranks_rejected(self):
+        with pytest.raises(ValueError):
+            GlobalSummer(6, cpus_per_node=4)
+
+
+class TestDESGlobalSum:
+    paper = {2: 4.0e-6, 4: 8.3e-6, 8: 12.8e-6, 16: 18.2e-6}
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_value_correct(self, n):
+        cl = HyadesCluster()
+        vals = [float(i + 1) for i in range(n)]
+        res, _ = des_global_sum(cl, vals)
+        assert all(v == pytest.approx(sum(vals)) for v in res)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_latency_within_10pct_of_paper(self, n):
+        cl = HyadesCluster()
+        _, t = des_global_sum(cl, [1.0] * n)
+        assert t == pytest.approx(self.paper[n], rel=0.10)
+
+    def test_latency_grows_with_log_n(self):
+        ts = []
+        for n in (2, 4, 8, 16):
+            cl = HyadesCluster()
+            _, t = des_global_sum(cl, [0.0] * n)
+            ts.append(t)
+        assert ts == sorted(ts)
+        # roughly linear in log2 N
+        slope1 = ts[1] - ts[0]
+        slope3 = ts[3] - ts[2]
+        assert slope3 == pytest.approx(slope1, rel=0.35)
+
+    def test_fig8_partials_on_wire(self):
+        cl = HyadesCluster()
+        record = []
+        vals = [float(i) for i in range(8)]
+        des_global_sum(cl, vals, record=record)
+        by_round_node = {(i, r): v for i, r, v in record}
+        assert by_round_node[(0, 0)] == vals[0] + vals[1]
+        assert by_round_node[(2, 5)] == sum(vals)
+
+    def test_barrier_is_a_dataless_gsum(self):
+        cl = HyadesCluster()
+        t = des_barrier(cl, 16)
+        assert t == pytest.approx(self.paper[16], rel=0.10)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            des_global_sum(HyadesCluster(), [1.0] * 3)
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=64))
+@settings(max_examples=50)
+def test_property_butterfly_equals_fsum(vals):
+    # pad to power of two with zeros
+    n = 1
+    while n < len(vals):
+        n *= 2
+    padded = list(vals) + [0.0] * (n - len(vals))
+    results, _ = butterfly_global_sum(padded)
+    assert results[0] == pytest.approx(math.fsum(vals), rel=1e-12, abs=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=5))
+def test_property_all_ranks_agree(exp):
+    n = 2**exp
+    rng = np.random.default_rng(exp)
+    vals = rng.standard_normal(n).tolist()
+    results, _ = butterfly_global_sum(vals)
+    assert len(set(results)) == 1

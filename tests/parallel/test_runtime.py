@@ -1,0 +1,150 @@
+"""Tests for the lockstep BSP runtime's virtual-time accounting."""
+
+import numpy as np
+import pytest
+
+from repro.network.costmodel import arctic_cost_model
+from repro.parallel.runtime import LockstepRuntime, MachineModel
+from repro.parallel.tiling import Decomposition
+
+US = 1e-6
+
+
+def make_runtime(px=4, py=4, cpus_per_node=2, olx=3):
+    d = Decomposition(128, 64, px, py, olx=olx)
+    return LockstepRuntime(d, cpus_per_node=cpus_per_node)
+
+
+class TestComputeCharging:
+    def test_uniform_flops(self):
+        rt = make_runtime()
+        rt.charge_compute(50e6, phase="ps")  # one second at Fps
+        assert rt.elapsed == pytest.approx(1.0)
+        assert rt.total_flops() == 16 * 50e6
+
+    def test_ds_phase_uses_fds(self):
+        rt = make_runtime()
+        rt.charge_compute(60e6, phase="ds")
+        assert rt.elapsed == pytest.approx(1.0)
+
+    def test_unknown_phase_rejected(self):
+        rt = make_runtime()
+        with pytest.raises(ValueError):
+            rt.charge_compute(1.0, phase="xx")
+
+    def test_heterogeneous_flops_slowest_wins(self):
+        rt = make_runtime()
+        flops = np.zeros(16)
+        flops[3] = 100e6
+        rt.charge_compute(flops, phase="ps")
+        assert rt.elapsed == pytest.approx(2.0)
+
+    def test_custom_machine_model(self):
+        d = Decomposition(128, 64, 4, 4, olx=3)
+        rt = LockstepRuntime(d, machine=MachineModel(fps=100e6, fds=120e6))
+        rt.charge_compute(100e6, phase="ps")
+        assert rt.elapsed == pytest.approx(1.0)
+
+
+class TestExchangeAccounting:
+    def test_3d_exchange_cost_matches_fig11(self):
+        """One 3-D field exchange at the reference config, mix-mode:
+        the 1640 us of Fig. 11 (within model tolerance)."""
+        rt = make_runtime()
+        fields = [t.alloc3d(10) for t in rt.decomp.tiles]
+        rt.exchange(fields)
+        # interior tiles pay the full 4-neighbour cost
+        worst = max(st.exchange_time for st in rt.stats)
+        assert worst == pytest.approx(1640 * US, rel=0.05)
+
+    def test_five_field_ps_exchange(self):
+        rt = make_runtime()
+        fields = [[t.alloc3d(10) for t in rt.decomp.tiles] for _ in range(5)]
+        rt.exchange(fields)
+        worst = max(st.exchange_time for st in rt.stats)
+        assert worst == pytest.approx(5 * 1640 * US, rel=0.05)
+        assert rt.stats[0].n_exchanges == 5
+
+    def test_exchange_moves_data(self):
+        rt = make_runtime(px=2, py=2, olx=1)
+        fields = [t.alloc2d() for t in rt.decomp.tiles]
+        for r, f in enumerate(fields):
+            f[rt.decomp.tile(r).interior] = float(r)
+        rt.exchange(fields)
+        o = rt.decomp.olx
+        t0 = rt.decomp.tile(0)
+        # tile 0's east halo came from tile 1's interior
+        assert fields[0][o, o + t0.nx] == 1.0
+
+    def test_wall_tiles_cheaper_than_interior(self):
+        rt = make_runtime()
+        fields = [t.alloc3d(10) for t in rt.decomp.tiles]
+        rt.exchange(fields)
+        # rank 0 sits on the south wall: 3 neighbours, not 4
+        assert rt.stats[0].exchange_time < max(s.exchange_time for s in rt.stats)
+
+
+class TestGlobalSumAccounting:
+    def test_value_and_cost(self):
+        rt = make_runtime()  # 16 ranks on 8 SMPs
+        result = rt.global_sum([1.0] * 16)
+        assert result == pytest.approx(16.0)
+        # 2x8-way mix-mode global sum: 13.5 us (Fig. 11).
+        assert rt.stats[0].gsum_time == pytest.approx(13.5 * US)
+
+    def test_single_cpu_per_node_uses_flat_table(self):
+        rt = make_runtime(cpus_per_node=1)
+        rt.global_sum([0.0] * 16)
+        assert rt.stats[0].gsum_time == pytest.approx(18.2 * US)
+
+    def test_gsum_synchronizes_clocks(self):
+        rt = make_runtime()
+        flops = np.zeros(16)
+        flops[0] = 50e6
+        rt.charge_compute(flops, phase="ps")
+        rt.global_sum([0.0] * 16)
+        assert np.allclose(rt.clocks, rt.clocks[0])
+        assert rt.elapsed == pytest.approx(1.0 + 13.5 * US)
+
+    def test_sync_time_recorded_for_fast_ranks(self):
+        rt = make_runtime()
+        flops = np.zeros(16)
+        flops[0] = 50e6
+        rt.charge_compute(flops, phase="ps")
+        rt.global_sum([0.0] * 16)
+        assert rt.stats[1].sync_time == pytest.approx(1.0)
+        assert rt.stats[0].sync_time == pytest.approx(0.0)
+
+
+class TestRuntimeMisc:
+    def test_sustained_flops(self):
+        rt = make_runtime()
+        rt.charge_compute(50e6, phase="ps")
+        # no communication: sustained = 16 * Fps
+        assert rt.sustained_flops() == pytest.approx(16 * 50e6)
+
+    def test_summary_keys(self):
+        rt = make_runtime()
+        rt.charge_compute(1e6, phase="ps")
+        s = rt.summary()
+        for key in ("elapsed", "compute_time", "exchange_time", "gsum_time", "sustained_flops"):
+            assert key in s
+
+    def test_barrier_syncs(self):
+        rt = make_runtime()
+        flops = np.zeros(16)
+        flops[5] = 5e6
+        rt.charge_compute(flops, phase="ps")
+        rt.barrier()
+        assert np.allclose(rt.clocks, rt.clocks[0])
+
+    def test_invalid_cpus_per_node(self):
+        d = Decomposition(128, 64, 4, 4)
+        with pytest.raises(ValueError):
+            LockstepRuntime(d, cpus_per_node=0)
+        with pytest.raises(ValueError):
+            LockstepRuntime(d, cpus_per_node=3)
+
+    def test_elapsed_zero_initially(self):
+        assert make_runtime().elapsed == 0.0
+        assert make_runtime().sustained_flops() == 0.0

@@ -1,0 +1,52 @@
+"""Tests for the runtime's optional event timeline."""
+
+import pytest
+
+from repro.gcm.timestepper import Model, ModelConfig
+from repro.gcm.grid import GridParams
+from repro.parallel.runtime import LockstepRuntime
+from repro.parallel.tiling import Decomposition
+
+
+def make_runtime(record=True):
+    d = Decomposition(32, 16, 2, 2, olx=1)
+    return LockstepRuntime(d, record_timeline=record)
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        rt = make_runtime(record=False)
+        rt.charge_compute(1e6, phase="ps")
+        assert rt.timeline == []
+
+    def test_events_recorded_in_order(self):
+        rt = make_runtime()
+        rt.charge_compute(1e6, phase="ps")
+        fields = [t.alloc2d() for t in rt.decomp.tiles]
+        rt.exchange(fields)
+        rt.global_sum([1.0] * 4)
+        kinds = [k for k, _, _ in rt.timeline]
+        assert kinds == ["compute:ps", "exchange:1f", "gsum"]
+
+    def test_events_are_contiguous_and_monotone(self):
+        rt = make_runtime()
+        rt.charge_compute(1e6, phase="ps")
+        rt.global_sum([0.0] * 4)
+        rt.charge_compute(2e6, phase="ds")
+        for kind, t0, t1 in rt.timeline:
+            assert t0 <= t1
+        ends = [t1 for _, _, t1 in rt.timeline]
+        assert ends == sorted(ends)
+        # the final event's end is the runtime's elapsed clock
+        assert rt.timeline[-1][2] == pytest.approx(rt.elapsed)
+
+    def test_gcm_step_produces_full_schedule(self):
+        cfg = ModelConfig(grid=GridParams(nx=32, ny=16, nz=4), px=2, py=2)
+        d = Decomposition(32, 16, 2, 2, olx=cfg.olx)
+        rt = LockstepRuntime(d, cpus_per_node=2, record_timeline=True)
+        m = Model(cfg, runtime=rt)
+        m.step()
+        kinds = {k.split(":")[0] for k, _, _ in rt.timeline}
+        assert "exchange" in kinds and "compute" in kinds
+        # the PS exchange of 5 fields appears by name
+        assert any(k == "exchange:5f" for k, _, _ in rt.timeline)

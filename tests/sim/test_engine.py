@@ -1,0 +1,110 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimTimeError
+
+
+def test_clock_starts_at_zero():
+    assert Engine().now == 0.0
+
+
+def test_schedule_and_run_advances_clock():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.5, lambda: fired.append(eng.now))
+    eng.schedule(0.5, lambda: fired.append(eng.now))
+    t = eng.run()
+    assert fired == [0.5, 1.5]
+    assert t == 1.5
+
+
+def test_same_time_events_fire_in_fifo_order():
+    eng = Engine()
+    order = []
+    for i in range(10):
+        eng.schedule(1.0, lambda i=i: order.append(i))
+    eng.run()
+    assert order == list(range(10))
+
+
+def test_schedule_negative_delay_rejected():
+    eng = Engine()
+    with pytest.raises(SimTimeError):
+        eng.schedule(-0.1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    eng = Engine()
+    eng.schedule(1.0, lambda: None)
+    eng.run()
+    with pytest.raises(SimTimeError):
+        eng.schedule_at(0.5, lambda: None)
+
+
+def test_schedule_at_absolute_time():
+    eng = Engine()
+    seen = []
+    eng.schedule_at(2.0, lambda: seen.append(eng.now))
+    eng.run()
+    assert seen == [2.0]
+
+
+def test_run_until_stops_before_later_events():
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append("a"))
+    eng.schedule(3.0, lambda: fired.append("b"))
+    t = eng.run(until=2.0)
+    assert fired == ["a"]
+    assert t == 2.0
+    # The later event is still pending and runs on the next call.
+    eng.run()
+    assert fired == ["a", "b"]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    eng = Engine()
+    assert eng.run(until=5.0) == 5.0
+    assert eng.now == 5.0
+
+
+def test_nested_scheduling_from_callback():
+    eng = Engine()
+    times = []
+
+    def outer():
+        times.append(eng.now)
+        eng.schedule(1.0, lambda: times.append(eng.now))
+
+    eng.schedule(1.0, outer)
+    eng.run()
+    assert times == [1.0, 2.0]
+
+
+def test_peek_and_empty():
+    eng = Engine()
+    assert eng.empty()
+    assert eng.peek() == float("inf")
+    eng.schedule(4.0, lambda: None)
+    assert eng.peek() == 4.0
+    assert not eng.empty()
+    eng.run()
+    assert eng.empty()
+
+
+def test_max_events_bounds_execution():
+    eng = Engine()
+    count = []
+    for _ in range(100):
+        eng.schedule(1.0, lambda: count.append(1))
+    eng.run(max_events=7)
+    assert len(count) == 7
+
+
+def test_events_executed_counter():
+    eng = Engine()
+    for i in range(5):
+        eng.schedule(float(i), lambda: None)
+    eng.run()
+    assert eng.events_executed == 5

@@ -1,0 +1,219 @@
+"""Unit tests for generator-based processes and waitables."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Engine, Interrupt
+from repro.sim.process import BaseEvent
+
+
+def test_process_sequences_timeouts():
+    eng = Engine()
+    trace = []
+
+    def proc():
+        trace.append(eng.now)
+        yield eng.timeout(1.0)
+        trace.append(eng.now)
+        yield eng.timeout(2.5)
+        trace.append(eng.now)
+
+    eng.process(proc())
+    eng.run()
+    assert trace == [0.0, 1.0, 3.5]
+
+
+def test_process_return_value_becomes_event_value():
+    eng = Engine()
+
+    def proc():
+        yield eng.timeout(1.0)
+        return 42
+
+    p = eng.process(proc())
+    eng.run()
+    assert p.triggered and p.value == 42
+
+
+def test_process_can_join_another_process():
+    eng = Engine()
+    results = []
+
+    def worker():
+        yield eng.timeout(2.0)
+        return "done"
+
+    def waiter(w):
+        val = yield w
+        results.append((eng.now, val))
+
+    w = eng.process(worker())
+    eng.process(waiter(w))
+    eng.run()
+    assert results == [(2.0, "done")]
+
+
+def test_yield_non_waitable_raises():
+    eng = Engine()
+
+    def bad():
+        yield 5
+
+    eng.process(bad())
+    with pytest.raises(TypeError, match="non-waitable"):
+        eng.run()
+
+
+def test_timeout_value_passthrough():
+    eng = Engine()
+    got = []
+
+    def proc():
+        from repro.sim.process import Timeout
+
+        v = yield Timeout(eng, 1.0, value="payload")
+        got.append(v)
+
+    eng.process(proc())
+    eng.run()
+    assert got == ["payload"]
+
+
+def test_allof_waits_for_all():
+    eng = Engine()
+    got = []
+
+    def proc():
+        evs = [eng.timeout(3.0), eng.timeout(1.0)]
+        vals = yield AllOf(eng, evs)
+        got.append((eng.now, vals))
+
+    eng.process(proc())
+    eng.run()
+    assert got[0][0] == 3.0
+
+
+def test_allof_empty_fires_immediately():
+    eng = Engine()
+    got = []
+
+    def proc():
+        vals = yield AllOf(eng, [])
+        got.append((eng.now, vals))
+
+    eng.process(proc())
+    eng.run()
+    assert got == [(0.0, [])]
+
+
+def test_anyof_fires_on_first():
+    eng = Engine()
+    got = []
+
+    def proc():
+        idx, _val = yield AnyOf(eng, [eng.timeout(3.0), eng.timeout(1.0)])
+        got.append((eng.now, idx))
+
+    eng.process(proc())
+    eng.run()
+    assert got == [(1.0, 1)]
+
+
+def test_anyof_requires_events():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        AnyOf(eng, [])
+
+
+def test_interrupt_is_catchable():
+    eng = Engine()
+    trace = []
+
+    def victim():
+        try:
+            yield eng.timeout(100.0)
+        except Interrupt as it:
+            trace.append((eng.now, it.cause))
+        yield eng.timeout(1.0)
+        trace.append(eng.now)
+
+    def attacker(v):
+        yield eng.timeout(2.0)
+        v.interrupt("stop")
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    eng.run()
+    assert trace == [(2.0, "stop"), 3.0]
+
+
+def test_unhandled_interrupt_kills_process():
+    eng = Engine()
+
+    def victim():
+        yield eng.timeout(100.0)
+
+    def attacker(v):
+        yield eng.timeout(1.0)
+        v.interrupt()
+
+    v = eng.process(victim())
+    eng.process(attacker(v))
+    death_time = []
+    v.subscribe(lambda ev: death_time.append(eng.now))
+    eng.run()
+    assert v.triggered
+    assert death_time == [1.0]  # died at the interrupt, not at t=100
+
+
+def test_interrupt_after_completion_is_noop():
+    eng = Engine()
+
+    def quick():
+        yield eng.timeout(1.0)
+        return "ok"
+
+    p = eng.process(quick())
+    eng.run()
+    p.interrupt()  # must not raise
+    eng.run()
+    assert p.value == "ok"
+
+
+def test_failed_event_raises_inside_process():
+    eng = Engine()
+    caught = []
+
+    def proc(ev):
+        try:
+            yield ev
+        except RuntimeError as e:
+            caught.append(str(e))
+
+    ev = BaseEvent(eng)
+    eng.process(proc(ev))
+    eng.schedule(1.0, lambda: ev.fail(RuntimeError("boom")))
+    eng.run()
+    assert caught == ["boom"]
+
+
+def test_event_double_fire_rejected():
+    eng = Engine()
+    ev = BaseEvent(eng)
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+
+
+def test_subscribe_after_trigger_still_delivers():
+    eng = Engine()
+    ev = BaseEvent(eng)
+    ev.succeed("late")
+    got = []
+
+    def proc():
+        v = yield ev
+        got.append(v)
+
+    eng.process(proc())
+    eng.run()
+    assert got == ["late"]

@@ -1,0 +1,207 @@
+"""Unit tests for stores, priority stores, resources and signals."""
+
+import pytest
+
+from repro.sim import Engine, PriorityStore, Resource, Signal, Store
+
+
+def run_proc(eng, gen):
+    return eng.process(gen)
+
+
+def test_store_fifo_order():
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def producer():
+        for i in range(5):
+            yield store.put(i)
+            yield eng.timeout(0.1)
+
+    def consumer():
+        for _ in range(5):
+            item = yield store.get()
+            got.append(item)
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_store_get_blocks_until_put():
+    eng = Engine()
+    store = Store(eng)
+    times = []
+
+    def consumer():
+        item = yield store.get()
+        times.append((eng.now, item))
+
+    def producer():
+        yield eng.timeout(5.0)
+        yield store.put("x")
+
+    eng.process(consumer())
+    eng.process(producer())
+    eng.run()
+    assert times == [(5.0, "x")]
+
+
+def test_store_capacity_blocks_putter():
+    eng = Engine()
+    store = Store(eng, capacity=1)
+    trace = []
+
+    def producer():
+        yield store.put("a")
+        trace.append(("put-a", eng.now))
+        yield store.put("b")  # blocks until consumer takes "a"
+        trace.append(("put-b", eng.now))
+
+    def consumer():
+        yield eng.timeout(3.0)
+        item = yield store.get()
+        trace.append(("got", item, eng.now))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert ("put-a", 0.0) in trace
+    assert ("got", "a", 3.0) in trace
+    assert ("put-b", 3.0) in trace
+
+
+def test_store_try_put_try_get():
+    eng = Engine()
+    store = Store(eng, capacity=2)
+    assert store.try_put(1)
+    assert store.try_put(2)
+    assert not store.try_put(3)
+    ok, item = store.try_get()
+    assert ok and item == 1
+    ok, item = store.try_get()
+    assert ok and item == 2
+    ok, item = store.try_get()
+    assert not ok
+
+
+def test_store_invalid_capacity():
+    with pytest.raises(ValueError):
+        Store(Engine(), capacity=0)
+
+
+def test_priority_store_orders_by_priority():
+    eng = Engine()
+    ps = PriorityStore(eng)
+    ps.try_put("low1", priority=1)
+    ps.try_put("low2", priority=1)
+    ps.try_put("high", priority=0)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield ps.get()
+            got.append(item)
+
+    eng.process(consumer())
+    eng.run()
+    assert got == ["high", "low1", "low2"]
+
+
+def test_priority_store_fifo_within_priority():
+    eng = Engine()
+    ps = PriorityStore(eng)
+    for i in range(5):
+        ps.try_put(i, priority=0)
+    got = []
+
+    def consumer():
+        for _ in range(5):
+            got.append((yield ps.get()))
+
+    eng.process(consumer())
+    eng.run()
+    assert got == [0, 1, 2, 3, 4]
+
+
+def test_resource_mutual_exclusion():
+    eng = Engine()
+    res = Resource(eng, capacity=1)
+    trace = []
+
+    def user(name, hold):
+        yield res.acquire()
+        trace.append((name, "in", eng.now))
+        yield eng.timeout(hold)
+        trace.append((name, "out", eng.now))
+        res.release()
+
+    eng.process(user("a", 2.0))
+    eng.process(user("b", 1.0))
+    eng.run()
+    # b cannot enter until a leaves at t=2.
+    assert ("b", "in", 2.0) in trace
+    assert ("b", "out", 3.0) in trace
+
+
+def test_resource_capacity_two_admits_two():
+    eng = Engine()
+    res = Resource(eng, capacity=2)
+    entered = []
+
+    def user(name):
+        yield res.acquire()
+        entered.append((name, eng.now))
+        yield eng.timeout(1.0)
+        res.release()
+
+    for n in "abc":
+        eng.process(user(n))
+    eng.run()
+    at0 = [n for n, t in entered if t == 0.0]
+    assert sorted(at0) == ["a", "b"]
+    assert ("c", 1.0) in entered
+
+
+def test_resource_release_without_acquire_raises():
+    eng = Engine()
+    res = Resource(eng)
+    with pytest.raises(RuntimeError):
+        res.release()
+
+
+def test_resource_invalid_capacity():
+    with pytest.raises(ValueError):
+        Resource(Engine(), capacity=0)
+
+
+def test_signal_broadcasts_to_all_waiters():
+    eng = Engine()
+    sig = Signal(eng)
+    woken = []
+
+    def waiter(name):
+        val = yield sig.wait()
+        woken.append((name, val, eng.now))
+
+    for n in "abc":
+        eng.process(waiter(n))
+
+    def firer():
+        yield eng.timeout(2.0)
+        n = sig.fire("go")
+        woken.append(("count", n, eng.now))
+
+    eng.process(firer())
+    eng.run()
+    names = sorted(n for n, v, t in woken if v == "go")
+    assert names == ["a", "b", "c"]
+    assert ("count", 3, 2.0) in woken
+
+
+def test_signal_fire_with_no_waiters():
+    eng = Engine()
+    sig = Signal(eng)
+    assert sig.fire() == 0

@@ -1,0 +1,97 @@
+"""Property-based tests of the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Engine, Store
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=50))
+def test_events_fire_in_nondecreasing_time_order(delays):
+    eng = Engine()
+    fired = []
+    for d in delays:
+        eng.schedule(d, lambda: fired.append(eng.now))
+    eng.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=30)
+)
+def test_final_time_is_max_delay(delays):
+    eng = Engine()
+    for d in delays:
+        eng.schedule(d, lambda: None)
+    assert eng.run() == max(delays)
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=100))
+def test_store_preserves_fifo_for_any_item_sequence(items):
+    eng = Engine()
+    store = Store(eng)
+    got = []
+
+    def producer():
+        for it in items:
+            yield store.put(it)
+
+    def consumer():
+        for _ in items:
+            got.append((yield store.get()))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == items
+
+
+@given(
+    st.lists(st.integers(), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=50)
+def test_bounded_store_never_loses_items(items, capacity):
+    """Back-pressure may delay but must never drop or reorder items."""
+    eng = Engine()
+    store = Store(eng, capacity=capacity)
+    got = []
+
+    def producer():
+        for it in items:
+            yield store.put(it)
+
+    def consumer():
+        for _ in items:
+            yield eng.timeout(1.0)  # slow consumer forces back-pressure
+            got.append((yield store.get()))
+
+    eng.process(producer())
+    eng.process(consumer())
+    eng.run()
+    assert got == items
+
+
+@given(st.data())
+@settings(max_examples=50)
+def test_interleaved_timeouts_deterministic(data):
+    """Two runs of the same random schedule give identical traces."""
+    delays = data.draw(
+        st.lists(st.floats(min_value=0.0, max_value=10.0, allow_nan=False), max_size=20)
+    )
+
+    def run_once():
+        eng = Engine()
+        trace = []
+
+        def proc(d, tag):
+            yield eng.timeout(d)
+            trace.append((eng.now, tag))
+
+        for i, d in enumerate(delays):
+            eng.process(proc(d, i))
+        eng.run()
+        return trace
+
+    assert run_once() == run_once()

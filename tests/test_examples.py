@@ -1,0 +1,55 @@
+"""Smoke tests: the shipped examples must run clean end to end.
+
+Only the quick examples run here (the longer integrations are exercised
+structurally by the gcm test suite); each is executed as a subprocess
+exactly the way a user would run it.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+QUICK = [
+    "quickstart.py",
+    "interconnect_study.py",
+    "network_microbench.py",
+]
+
+
+@pytest.mark.parametrize("script", QUICK)
+def test_example_runs_clean(script):
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip(), "example produced no output"
+    assert "Traceback" not in proc.stderr
+
+
+def test_all_examples_exist_and_have_docstrings():
+    scripts = sorted(EXAMPLES.glob("*.py"))
+    assert len(scripts) >= 5
+    for s in scripts:
+        text = s.read_text()
+        assert text.lstrip().startswith(("#!/usr/bin/env python3", '"""')), s.name
+        assert '"""' in text, f"{s.name} lacks a docstring"
+        assert "__main__" in text, f"{s.name} is not runnable"
+
+
+def test_interconnect_study_reaches_paper_verdict():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "interconnect_study.py")],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert "network-bound" in proc.stdout  # FE verdict
+    assert "compute-bound" in proc.stdout  # Arctic verdict
+    assert "306 us" in proc.stdout or "306" in proc.stdout

@@ -1,0 +1,102 @@
+"""Tests for the terminal visualization helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.viz import RAMP, anomaly_map, ascii_map, profile_bars
+
+
+class TestAsciiMap:
+    def test_shape_and_title(self):
+        f = np.arange(12, dtype=float).reshape(3, 4)
+        out = ascii_map(f, title="T")
+        lines = out.splitlines()
+        assert lines[0].startswith("T")
+        assert len(lines) == 4
+        assert all(len(l) == 4 for l in lines[1:])
+
+    def test_north_up_puts_last_row_first(self):
+        f = np.zeros((2, 3))
+        f[1] = 1.0  # northern row
+        out = ascii_map(f).splitlines()
+        assert out[0] == RAMP[-1] * 3
+        assert out[1] == RAMP[0] * 3
+
+    def test_constant_field_renders_lightest(self):
+        out = ascii_map(np.full((2, 2), 7.0))
+        assert set("".join(out.splitlines())) == {RAMP[0]}
+
+    def test_rejects_non_2d(self):
+        with pytest.raises(ValueError):
+            ascii_map(np.zeros(5))
+
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=30)
+    def test_property_always_full_coverage(self, ny, nx, seed):
+        rng = np.random.default_rng(seed)
+        f = rng.standard_normal((ny, nx))
+        lines = ascii_map(f).splitlines()
+        assert len(lines) == ny
+        for l in lines:
+            assert len(l) == nx
+            assert set(l) <= set(RAMP)
+
+
+class TestAnomalyMap:
+    def test_zero_field_is_midpoint(self):
+        out = anomaly_map(np.zeros((2, 2)))
+        chars = set("".join(out.splitlines()))
+        assert len(chars) == 1
+
+    def test_sign_asymmetry_visible(self):
+        f = np.array([[-1.0, 1.0]])
+        out = anomaly_map(f)
+        assert out[0] != out[1]
+
+
+class TestProfileBars:
+    def test_labels_and_signs(self):
+        out = profile_bars([1.0, -0.5], labels=["a", "b"], width=10)
+        lines = out.splitlines()
+        assert lines[0].startswith("a") and "+" in lines[0]
+        assert lines[1].startswith("b") and "-" in lines[1]
+
+    def test_scaling_to_width(self):
+        out = profile_bars([2.0, 1.0], width=20)
+        lines = out.splitlines()
+        assert lines[0].split()[-1] == "+" * 20
+        assert lines[1].split()[-1] == "+" * 10
+
+    def test_all_zero_profile(self):
+        out = profile_bars([0.0, 0.0])
+        assert "+" not in out.replace("+0", "")
+
+
+class TestRenderTimeline:
+    from repro.viz import render_timeline  # noqa: F401 (import check)
+
+    def test_empty(self):
+        from repro.viz import render_timeline
+
+        assert "empty" in render_timeline([])
+
+    def test_events_render_with_glyphs(self):
+        from repro.viz import render_timeline
+
+        tl = [("compute:ps", 0.0, 0.6e-3), ("exchange:5f", 0.6e-3, 0.8e-3), ("gsum", 0.8e-3, 0.81e-3)]
+        out = render_timeline(tl, width=40)
+        assert "#" in out and "=" in out and "|" in out
+        assert "compute:ps" in out and "0.80 ms" in out.splitlines()[0] or "ms" in out
+
+    def test_tiny_events_get_one_column(self):
+        from repro.viz import render_timeline
+
+        tl = [("gsum", 0.0, 1e-9), ("compute:ps", 1e-9, 1.0)]
+        out = render_timeline(tl, width=30)
+        assert out.splitlines()[1].strip().startswith("|")
