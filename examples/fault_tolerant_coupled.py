@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Fault-tolerant coupled climate: bit-exact through a lossy fabric.
+
+The paper's Section 2.2 fabric assumes error-free links (CRC-checked at
+every router stage, but no recovery).  This demo stresses that
+assumption: a coupled atmosphere-ocean run ships its boundary
+conditions through the simulated Arctic fabric while a seeded fault
+plan drops and corrupts packets on every link.  The NIU's go-back-N
+reliable-delivery layer retransmits until the coupling fields land
+bit-exactly — and the discrete-event clock charges every retransmit,
+so the recovery overhead is measured, not modelled.
+
+The same plan with retransmits disabled wedges the raw VI exchange;
+the engine's deadlock watchdog turns the would-be hang into a
+diagnostic naming the blocked ranks.
+
+Run:  python examples/fault_tolerant_coupled.py
+"""
+
+from repro.faults import FaultPlan, run_coupled_fault_demo
+
+
+def main() -> None:
+    plan = FaultPlan(seed=42, drop_prob=0.01, corrupt_prob=0.002)
+    print(
+        f"fault plan: seed={plan.seed}, {plan.drop_prob:.1%} drop + "
+        f"{plan.corrupt_prob:.1%} corrupt on every link"
+    )
+
+    print("\n--- reliable delivery on ---")
+    res = run_coupled_fault_demo(plan=plan, windows=2, reliable=True)
+    fc, pr = res.fault_counters, res.protocol
+    print(f"injected faults     : {fc['injected_drops']} drops, "
+          f"{fc['injected_corruptions']} corruptions")
+    print(f"router CRC caught   : {fc['router_crc_drops']} corrupted packets")
+    print(f"protocol traffic    : {pr['data_sent']} data frames "
+          f"({pr['retransmissions']} retransmits), "
+          f"{pr['acks_sent']} ACKs, {pr['nacks_sent']} NACKs")
+    print(f"coupler wire time   : {res.wire_time_clean * 1e6:.0f} us clean -> "
+          f"{res.wire_time_faulty * 1e6:.0f} us faulty "
+          f"({res.overhead_pct:+.0f}% recovery overhead)")
+    print(f"state bit-exact     : {res.bit_exact}")
+    assert res.bit_exact, "reliable delivery must recover bit-exactly"
+
+    print("\n--- same plan, retransmits off ---")
+    res_raw = run_coupled_fault_demo(plan=plan, windows=2, reliable=False)
+    assert res_raw.deadlock is not None, "raw mode should deadlock under loss"
+    print("watchdog diagnostic :")
+    print(f"  {res_raw.deadlock}")
+
+    print("\nhardest links hit:")
+    worst = sorted(res.per_link, key=lambda t: t[1] + t[2], reverse=True)[:5]
+    for name, dropped, corrupted in worst:
+        print(f"  {name}: dropped={dropped} corrupted={corrupted}")
+
+
+if __name__ == "__main__":
+    main()

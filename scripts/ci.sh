@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Continuous-integration entry point: the tier-1 test suite plus a fast
+# seeded fault-injection smoke test of the headline reliability demo.
+#
+# Usage: scripts/ci.sh [extra pytest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q "$@" tests/
+
+echo
+echo "== seeded fault smoke (reliable recovery must stay bit-exact) =="
+python -m repro faults --seed 7 --drop 0.01 --corrupt 0.002 --windows 1
+
+echo
+echo "== seeded fault smoke (no-retry must produce the watchdog diagnostic) =="
+python -m repro faults --seed 7 --drop 0.02 --windows 1 --no-retry
+
+echo
+echo "ci.sh: all checks passed"

@@ -195,6 +195,30 @@ def _fig11_section() -> ReportSection:
     )
 
 
+def _faults_section() -> ReportSection:
+    from repro.faults import run_coupled_fault_demo
+
+    res = run_coupled_fault_demo(seed=7, drop=0.01, corrupt=0.002, windows=1)
+    fc, pr = res.fault_counters, res.protocol
+    rows = [
+        ["fault plan", f"seed={res.plan.seed} drop={res.plan.drop_prob:.1%} corrupt={res.plan.corrupt_prob:.1%}", ""],
+        ["coupled state bit-exact", str(res.bit_exact), "True"],
+        ["injected drops / corruptions", f"{fc['injected_drops']} / {fc['injected_corruptions']}", ""],
+        ["router CRC drops", str(fc["router_crc_drops"]), ""],
+        ["data frames sent / retransmitted", f"{pr.get('data_sent', 0)} / {pr.get('retransmissions', 0)}", ""],
+        ["ACKs / NACKs sent", f"{pr.get('acks_sent', 0)} / {pr.get('nacks_sent', 0)}", ""],
+        ["wire time clean (us)", f"{res.wire_time_clean / US:.1f}", ""],
+        ["wire time faulty (us)", f"{res.wire_time_faulty / US:.1f}", ""],
+        ["recovery overhead", f"{res.overhead_pct:+.1f}%", ""],
+    ]
+    return ReportSection(
+        "faults",
+        "Reliability - coupled run under seeded fabric faults",
+        ["quantity", "reproduction", "expected"],
+        rows,
+    )
+
+
 #: Registry of report builders, in paper order.
 SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig2": _fig2_section,
@@ -204,6 +228,7 @@ SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig11": _fig11_section,
     "fig12": _fig12_section,
     "sec53": _sec53_section,
+    "faults": _faults_section,
 }
 
 

@@ -1,0 +1,39 @@
+"""Deterministic fault injection for the Arctic fabric and NIUs.
+
+The paper's software stack assumes "error-free operation" because the
+hardware verifies CRC at every router stage (Section 2.2) — but a model
+of a production machine must also exercise the error paths.  This
+package provides:
+
+* :class:`FaultPlan` — a seeded, declarative schedule of faults:
+  per-link bit corruption and whole-packet drops (probabilistic, but
+  deterministic for a given seed), transient bandwidth degradation
+  windows, node stalls and node crashes.
+* :class:`FaultInjector` — wires a plan into a :class:`~repro.network.fattree.FatTree`
+  through the sanctioned ``Link`` hooks (no monkeypatching) and keeps
+  aggregate fault counters.
+* :func:`run_coupled_fault_demo` — the headline experiment: a coupled
+  GCM integration whose coupling fields ride the simulated fabric under
+  injected faults, completing bit-exact versus the fault-free run.
+"""
+
+from repro.faults.plan import (
+    BandwidthEvent,
+    CrashEvent,
+    FaultPlan,
+    LinkFaultModel,
+    StallEvent,
+)
+from repro.faults.inject import FaultInjector
+from repro.faults.demo import FaultDemoResult, run_coupled_fault_demo
+
+__all__ = [
+    "BandwidthEvent",
+    "CrashEvent",
+    "FaultPlan",
+    "LinkFaultModel",
+    "StallEvent",
+    "FaultInjector",
+    "FaultDemoResult",
+    "run_coupled_fault_demo",
+]

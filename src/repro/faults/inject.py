@@ -1,0 +1,96 @@
+"""Wiring a :class:`FaultPlan` into a live fat tree.
+
+The injector installs per-link fault hooks (drop/corrupt draws from the
+plan's per-link RNGs), schedules bandwidth-degradation windows and node
+stall/crash events on the engine, and aggregates counters for the run
+report.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.network.fattree import FatTree
+from repro.network.packet import Packet
+from repro.network.router import FAULT_CORRUPT, FAULT_DROP, Link
+from repro.faults.plan import FaultPlan
+
+
+class FaultInjector:
+    """Installs a fault plan on a fabric and counts what it injects."""
+
+    def __init__(self, fabric: FatTree, plan: FaultPlan) -> None:
+        self.fabric = fabric
+        self.plan = plan
+        self.engine = fabric.engine
+        self.injected_drops = 0
+        self.injected_corruptions = 0
+        self.hooked_links: list[Link] = []
+        self._install()
+
+    # -- installation ---------------------------------------------------
+
+    def _install(self) -> None:
+        for link in self.fabric.iter_links():
+            model = self.plan.model_for(link.name)
+            if model.active:
+                link.fault_hook = self._make_hook(link, model)
+                self.hooked_links.append(link)
+        for ev in self.plan.degradations:
+            for link in self.fabric.iter_links():
+                if ev.link in link.name:
+                    self._schedule_degradation(link, ev.start, ev.duration, ev.factor)
+        for st in self.plan.stalls:
+            for link in self.fabric.node_links(st.node):
+                self.engine.schedule(
+                    st.start, lambda l=link, d=st.duration: l.stall(d)
+                )
+        for cr in self.plan.crashes:
+            self.engine.schedule(
+                cr.start, lambda n=cr.node: self.fabric.kill_endpoint(n)
+            )
+
+    def _make_hook(self, link: Link, model) -> object:
+        rng = random.Random(self.plan.link_seed(link.name))
+
+        def hook(pkt: Packet) -> Optional[str]:
+            r = rng.random()
+            if r < model.drop_prob:
+                self.injected_drops += 1
+                return FAULT_DROP
+            if r < model.drop_prob + model.corrupt_prob:
+                self.injected_corruptions += 1
+                return FAULT_CORRUPT
+            return None
+
+        return hook
+
+    def _schedule_degradation(
+        self, link: Link, start: float, duration: float, factor: float
+    ) -> None:
+        def begin() -> None:
+            link.rate_factor *= factor
+
+        def end() -> None:
+            link.rate_factor /= factor
+
+        self.engine.schedule(start, begin)
+        self.engine.schedule(start + duration, end)
+
+    # -- reporting ------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Injected-fault totals plus the fabric's observed counters."""
+        out = dict(self.fabric.fault_counters())
+        out["injected_drops"] = self.injected_drops
+        out["injected_corruptions"] = self.injected_corruptions
+        return out
+
+    def per_link_counters(self) -> list[tuple[str, int, int]]:
+        """``(link name, dropped, corrupted)`` for links that saw faults."""
+        return [
+            (l.name, l.stats.dropped, l.stats.corrupted)
+            for l in self.fabric.iter_links()
+            if l.stats.dropped or l.stats.corrupted
+        ]

@@ -10,12 +10,29 @@ plus the step bookkeeping is captured.
 
 Checkpoints are portable ``.npz`` archives of *global* fields, so a run
 may be restarted on a different decomposition.
+
+Durability contract (a century-scale run must survive a killed
+process):
+
+* **Atomic writes** — the archive is written to a ``*.tmp`` sibling,
+  fsynced, and moved into place with :func:`os.replace`, so a crash
+  mid-save can never destroy the previous good checkpoint.
+* **Self-verifying archives** — every checkpoint embeds a CRC-32 over
+  all payload arrays; truncation, corruption or a wrong
+  ``CHECKPOINT_VERSION`` raises :class:`CheckpointError` (never a raw
+  numpy/zipfile exception).
+* **Auto-resume** — :func:`find_latest_good` scans a directory for the
+  newest checkpoint that still verifies, and :func:`resume_latest`
+  restores a model from it.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
-from typing import Union
+import zipfile
+import zlib
+from typing import Optional, Union
 
 import numpy as np
 
@@ -23,14 +40,46 @@ from repro.gcm.state import FIELDS_2D, FIELDS_3D
 from repro.gcm.timestepper import Model
 
 #: Format marker for forward compatibility.
-CHECKPOINT_VERSION = 1
+CHECKPOINT_VERSION = 2
+
+#: Scalar bookkeeping entries every archive must carry.
+_REQUIRED_KEYS = ("version", "time", "step_count", "first_step", "nx", "ny", "nz")
 
 
-def save_checkpoint(model: Model, path: Union[str, pathlib.Path]) -> pathlib.Path:
-    """Write the model's complete restart state to ``path`` (.npz)."""
+class CheckpointError(ValueError):
+    """A checkpoint could not be written or restored: wrong version,
+    truncated/corrupt archive, checksum mismatch, or missing fields."""
+
+
+def _payload_checksum(payload: dict) -> int:
+    """CRC-32 over every payload array, in key order (dtype+shape+bytes)."""
+    crc = 0
+    for key in sorted(payload):
+        if key == "checksum":
+            continue
+        arr = np.ascontiguousarray(np.asarray(payload[key]))
+        crc = zlib.crc32(key.encode(), crc)
+        crc = zlib.crc32(str(arr.dtype).encode(), crc)
+        crc = zlib.crc32(str(arr.shape).encode(), crc)
+        crc = zlib.crc32(arr.tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+def _norm_path(path: Union[str, pathlib.Path]) -> pathlib.Path:
     path = pathlib.Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
+    return path
+
+
+def save_checkpoint(model: Model, path: Union[str, pathlib.Path]) -> pathlib.Path:
+    """Atomically write the model's complete restart state to ``path``.
+
+    The archive lands under its final name only after it is fully
+    written and fsynced; a crash mid-save leaves at most a stale
+    ``*.tmp`` file behind.
+    """
+    path = _norm_path(path)
     payload = {
         "version": np.array(CHECKPOINT_VERSION),
         "time": np.array(model.state.time),
@@ -44,8 +93,69 @@ def save_checkpoint(model: Model, path: Union[str, pathlib.Path]) -> pathlib.Pat
         payload["f3_" + name] = model.state.to_global(name)
     for name in FIELDS_2D:
         payload["f2_" + name] = model.state.to_global(name)
-    np.savez_compressed(path, **payload)
+    payload["checksum"] = np.array(_payload_checksum(payload), dtype=np.uint32)
+
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        # np.savez_compressed appends ".npz" to string paths, so hand it
+        # an open file object to keep the exact tmp name
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **payload)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if tmp.exists():
+            tmp.unlink()
     return path
+
+
+def _open_verified(path: pathlib.Path) -> dict:
+    """Load and integrity-check an archive; returns the payload dict."""
+    if not path.exists():
+        raise CheckpointError(f"checkpoint {path} does not exist")
+    try:
+        with np.load(path) as data:
+            payload = {key: data[key] for key in data.files}
+    except (zipfile.BadZipFile, OSError, EOFError, KeyError, ValueError) as exc:
+        raise CheckpointError(
+            f"checkpoint {path} is corrupt or truncated: {exc}"
+        ) from exc
+    missing = [k for k in _REQUIRED_KEYS if k not in payload]
+    if missing:
+        raise CheckpointError(
+            f"checkpoint {path} is incomplete: missing entries {missing}"
+        )
+    version = int(payload["version"])
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint {path} has unsupported version {version} "
+            f"(expected {CHECKPOINT_VERSION})"
+        )
+    if "checksum" not in payload:
+        raise CheckpointError(f"checkpoint {path} carries no checksum")
+    stored = int(payload["checksum"])
+    actual = _payload_checksum(payload)
+    if stored != actual:
+        raise CheckpointError(
+            f"checkpoint {path} failed its checksum "
+            f"(stored {stored:#010x}, recomputed {actual:#010x})"
+        )
+    return payload
+
+
+def verify_checkpoint(path: Union[str, pathlib.Path]) -> dict:
+    """Integrity-check ``path`` without a model; returns its metadata.
+
+    Raises :class:`CheckpointError` on any defect.
+    """
+    payload = _open_verified(_norm_path(path))
+    return {
+        "version": int(payload["version"]),
+        "time": float(payload["time"]),
+        "step_count": int(payload["step_count"]),
+        "grid": (int(payload["nx"]), int(payload["ny"]), int(payload["nz"])),
+    }
 
 
 def load_checkpoint(model: Model, path: Union[str, pathlib.Path]) -> Model:
@@ -54,24 +164,64 @@ def load_checkpoint(model: Model, path: Union[str, pathlib.Path]) -> Model:
 
     The target model must share the checkpoint's grid shape; the
     decomposition may differ (fields are scattered to the new tiling
-    and halos refreshed).
+    and halos refreshed).  Raises :class:`CheckpointError` on version,
+    integrity or shape mismatch.
     """
-    path = pathlib.Path(path)
-    if path.suffix != ".npz":
-        path = path.with_suffix(".npz")
-    with np.load(path) as data:
-        version = int(data["version"])
-        if version != CHECKPOINT_VERSION:
-            raise ValueError(f"unsupported checkpoint version {version}")
-        shape = (int(data["nx"]), int(data["ny"]), int(data["nz"]))
-        here = (model.config.grid.nx, model.config.grid.ny, model.config.grid.nz)
-        if shape != here:
-            raise ValueError(f"checkpoint grid {shape} != model grid {here}")
-        for name in FIELDS_3D:
-            model.state.set_from_global(name, data["f3_" + name])
-        for name in FIELDS_2D:
-            model.state.set_from_global(name, data["f2_" + name])
-        model.state.time = float(data["time"])
-        model.state.step_count = int(data["step_count"])
-        model._first_step = bool(data["first_step"])
+    path = _norm_path(path)
+    payload = _open_verified(path)
+    shape = (int(payload["nx"]), int(payload["ny"]), int(payload["nz"]))
+    here = (model.config.grid.nx, model.config.grid.ny, model.config.grid.nz)
+    if shape != here:
+        raise CheckpointError(f"checkpoint grid {shape} != model grid {here}")
+    for name in FIELDS_3D:
+        key = "f3_" + name
+        if key not in payload:
+            raise CheckpointError(f"checkpoint {path} lacks field {name!r}")
+        model.state.set_from_global(name, payload[key])
+    for name in FIELDS_2D:
+        key = "f2_" + name
+        if key not in payload:
+            raise CheckpointError(f"checkpoint {path} lacks field {name!r}")
+        model.state.set_from_global(name, payload[key])
+    model.state.time = float(payload["time"])
+    model.state.step_count = int(payload["step_count"])
+    model._first_step = bool(payload["first_step"])
     return model
+
+
+def find_latest_good(
+    directory: Union[str, pathlib.Path], pattern: str = "*.npz"
+) -> Optional[pathlib.Path]:
+    """The newest checkpoint in ``directory`` that passes verification.
+
+    Corrupt, truncated or foreign archives are skipped (newest first),
+    so a run killed mid-save resumes from the last good state.
+    """
+    directory = pathlib.Path(directory)
+    if not directory.is_dir():
+        return None
+    candidates = sorted(
+        directory.glob(pattern), key=lambda p: p.stat().st_mtime, reverse=True
+    )
+    for cand in candidates:
+        try:
+            verify_checkpoint(cand)
+        except CheckpointError:
+            continue
+        return cand
+    return None
+
+
+def resume_latest(
+    model: Model, directory: Union[str, pathlib.Path], pattern: str = "*.npz"
+) -> Optional[pathlib.Path]:
+    """Restore ``model`` from the newest good checkpoint in ``directory``.
+
+    Returns the checkpoint path, or None when no good checkpoint exists
+    (the model is left untouched).
+    """
+    path = find_latest_good(directory, pattern)
+    if path is None:
+        return None
+    load_checkpoint(model, path)
+    return path

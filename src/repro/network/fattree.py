@@ -79,6 +79,8 @@ class FatTree:
                     self.routers[(l, p, j)] = ArcticRouter(engine, name=f"R{l}.{p}.{j}")
 
         self._endpoint_sinks: list[Optional[Callable[[Packet], None]]] = [None] * self.n
+        self._endpoint_dead: list[bool] = [False] * self.n
+        self.blackholed_packets = 0
 
         # Wire links.  up_links[(l,p,j)][u] and down_links[(l,p,j)][c].
         self.up_links: dict[tuple[int, int, int], list[Link]] = {}
@@ -120,6 +122,9 @@ class FatTree:
 
     def _make_endpoint_sink(self, ep: int) -> Callable[[Packet], None]:
         def sink(pkt: Packet) -> None:
+            if self._endpoint_dead[ep]:
+                self.blackholed_packets += 1
+                return
             target = self._endpoint_sinks[ep]
             if target is None:
                 raise RuntimeError(f"packet arrived at unattached endpoint {ep}")
@@ -206,3 +211,38 @@ class FatTree:
     def total_crc_errors(self) -> int:
         """Corrupted packets dropped across all router stages."""
         return sum(r.crc_errors for r in self.routers.values())
+
+    # -- fault accounting ----------------------------------------------
+
+    def iter_links(self):
+        """Every directed link of the fabric (injection, up, down)."""
+        yield from self.inject_links
+        for links in self.up_links.values():
+            yield from links
+        for links in self.down_links.values():
+            yield from links
+
+    def node_links(self, ep: int) -> list:
+        """The links touching endpoint ``ep``: its injection link and the
+        leaf router's down link toward it."""
+        leaf = (1, ep // 2, 0)
+        return [self.inject_links[ep], self.down_links[leaf][ep % 2]]
+
+    def kill_endpoint(self, ep: int) -> None:
+        """Crash endpoint ``ep``: it stops sending (injection link down
+        forever) and arriving packets are blackholed."""
+        self._endpoint_dead[ep] = True
+        self.inject_links[ep].stall(float("inf"))
+
+    def fault_counters(self) -> dict:
+        """Aggregate fault/error counters across the whole fabric."""
+        dropped = corrupted = 0
+        for link in self.iter_links():
+            dropped += link.stats.dropped
+            corrupted += link.stats.corrupted
+        return {
+            "link_drops": dropped,
+            "link_corruptions": corrupted,
+            "router_crc_drops": self.total_crc_errors(),
+            "blackholed": self.blackholed_packets,
+        }

@@ -29,6 +29,12 @@ ARCTIC_LINK_BANDWIDTH = 150e6  # bytes/sec, each direction
 ARCTIC_STAGE_LATENCY = 0.15e-6  # seconds through one router stage
 
 
+#: Verdicts a link fault hook may return for a packet about to transmit.
+FAULT_DELIVER = None
+FAULT_DROP = "drop"
+FAULT_CORRUPT = "corrupt"
+
+
 @dataclass
 class LinkStats:
     """Per-link counters for utilisation and error accounting."""
@@ -37,10 +43,24 @@ class LinkStats:
     bytes: int = 0
     busy_time: float = 0.0
     high_priority_packets: int = 0
+    #: Packets silently lost on this link (fault injection).
+    dropped: int = 0
+    #: Packets whose payload was corrupted on this link (fault injection);
+    #: the next CRC stage detects and drops them.
+    corrupted: int = 0
 
 
 class Link:
-    """One direction of an Arctic link: FIFO per priority, cut-through."""
+    """One direction of an Arctic link: FIFO per priority, cut-through.
+
+    Fault injection attaches through two sanctioned hooks rather than
+    monkeypatching: ``fault_hook(pkt)`` is consulted once per packet at
+    transmit time and may return :data:`FAULT_DROP` (the packet vanishes
+    on the wire) or :data:`FAULT_CORRUPT` (a bit flip the next CRC stage
+    will catch); ``rate_factor`` scales the effective bandwidth to model
+    transient link degradation, and :meth:`stall` blocks the transmitter
+    outright for a window of virtual time.
+    """
 
     def __init__(
         self,
@@ -56,8 +76,11 @@ class Link:
         self.stage_latency = stage_latency
         self.name = name
         self.stats = LinkStats()
-        self._queue = PriorityStore(engine)
-        engine.process(self._transmitter())
+        self.fault_hook: Optional[Callable[[Packet], Optional[str]]] = None
+        self.rate_factor: float = 1.0
+        self._stalled_until: float = 0.0
+        self._queue = PriorityStore(engine, name=f"link:{name}")
+        engine.process(self._transmitter(), name=f"link:{name}", daemon=True)
 
     def send(self, packet: Packet) -> None:
         """Enqueue a packet for transmission (HIGH priority jumps LOW)."""
@@ -67,10 +90,31 @@ class Link:
     def queued(self) -> int:
         return len(self._queue)
 
+    def stall(self, duration: float) -> None:
+        """Block the transmitter for ``duration`` seconds of virtual time.
+
+        Queued and newly arriving packets wait; nothing is lost.  Models
+        a node or link that temporarily stops making progress.
+        """
+        self._stalled_until = max(self._stalled_until, self.engine.now + duration)
+
     def _transmitter(self):
         while True:
             pkt: Packet = yield self._queue.get()
-            t_ser = pkt.wire_bytes / self.bandwidth
+            while self.engine.now < self._stalled_until:
+                if self._stalled_until == float("inf"):
+                    self.stats.dropped += 1
+                    return  # link is dead: stop transmitting entirely
+                yield self.engine.timeout(self._stalled_until - self.engine.now)
+            if self.fault_hook is not None:
+                verdict = self.fault_hook(pkt)
+                if verdict == FAULT_DROP:
+                    self.stats.dropped += 1
+                    continue
+                if verdict == FAULT_CORRUPT:
+                    pkt.corrupt = True
+                    self.stats.corrupted += 1
+            t_ser = pkt.wire_bytes / (self.bandwidth * max(self.rate_factor, 1e-9))
             self.stats.packets += 1
             self.stats.bytes += pkt.wire_bytes
             self.stats.busy_time += t_ser

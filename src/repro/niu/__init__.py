@@ -18,5 +18,16 @@ its mechanisms are used by the GCM code and modelled here:
 
 from repro.niu.pci import PCIParams, PCIBus
 from repro.niu.startx import StarTX, VITransfer, PIO_COST_MODEL
+from repro.niu.reliable import DeliveryError, Message, ReliableNIU, get_reliable
 
-__all__ = ["PCIParams", "PCIBus", "StarTX", "VITransfer", "PIO_COST_MODEL"]
+__all__ = [
+    "PCIParams",
+    "PCIBus",
+    "StarTX",
+    "VITransfer",
+    "PIO_COST_MODEL",
+    "DeliveryError",
+    "Message",
+    "ReliableNIU",
+    "get_reliable",
+]

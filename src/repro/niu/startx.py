@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 import math
 from dataclasses import dataclass, field as dc_field
-from typing import Any, Dict, Optional
+from typing import Any, Callable, Dict, Optional
 
 from repro.sim import Engine, Signal, Store
 from repro.sim.process import BaseEvent
@@ -111,15 +111,19 @@ class StarTX:
         self.fabric = fabric
         self.node_id = node_id
         self.pci = pci or PCIBus(engine)
-        self.pio_rx: Store = Store(engine, capacity=rx_capacity)
+        self.pio_rx: Store = Store(engine, capacity=rx_capacity, name=f"pio-rx[node{node_id}]")
         self._vi_rx: Dict[int, VITransfer] = {}
         self._vi_complete: Dict[int, Signal] = {}
         self._vi_acks: Dict[int, Signal] = {}
-        self._vi_requests: Store = Store(engine)
+        self._vi_requests: Store = Store(engine, name=f"vi-requests[node{node_id}]")
         self._xid_counter = itertools.count()
         self.crc_status_errors = 0
         self.packets_sent = 0
         self.packets_received = 0
+        #: Optional receive-path intercept (e.g. the reliable-delivery
+        #: layer): called with each CRC-clean packet before normal
+        #: dispatch; returning True consumes the packet.
+        self.rx_hook: Optional[Callable[[Packet], bool]] = None
         fabric.attach_endpoint(node_id, self._head_arrival)
 
     # ------------------------------------------------------------------
@@ -137,13 +141,17 @@ class StarTX:
             self.crc_status_errors += 1
             return
         self.packets_received += 1
+        if self.rx_hook is not None and self.rx_hook(pkt):
+            return
         if pkt.tag == TAG_VI_DATA:
             self._vi_deposit(pkt)
         elif pkt.tag == TAG_VI_REQ:
             self._vi_requests.try_put(pkt)
         elif pkt.tag == TAG_VI_ACK:
             xid = pkt.payload_words[0]
-            self._vi_acks.setdefault(xid, Signal(self.engine)).fire(pkt)
+            self._vi_acks.setdefault(
+                xid, Signal(self.engine, name=f"vi-ack[xid={xid}]")
+            ).fire(pkt)
         else:
             if not self.pio_rx.try_put(pkt):
                 raise RuntimeError(
@@ -169,7 +177,9 @@ class StarTX:
             buf[offset : offset + len(chunk)] = chunk
         if xfer.nbytes >= 0 and xfer.complete:
             xfer.end_time = self.engine.now
-            self._vi_complete.setdefault(xid, Signal(self.engine)).fire(xfer)
+            self._vi_complete.setdefault(
+                xid, Signal(self.engine, name=f"vi-complete[xid={xid}]")
+            ).fire(xfer)
 
     # ------------------------------------------------------------------
     # PIO mode
@@ -229,7 +239,9 @@ class StarTX:
             existing.nbytes = nbytes
             if existing.complete:
                 existing.end_time = self.engine.now
-                self._vi_complete.setdefault(xid, Signal(self.engine)).fire(existing)
+                self._vi_complete.setdefault(
+                    xid, Signal(self.engine, name=f"vi-complete[xid={xid}]")
+                ).fire(existing)
         else:
             self._vi_rx[xid] = VITransfer(xid=xid, src=src, dst=self.node_id, nbytes=nbytes)
 
@@ -249,7 +261,7 @@ class StarTX:
         yield from self.pio_send(
             dst, [xid, nbytes], tag=TAG_VI_REQ, priority=Priority.HIGH
         )
-        sig = self._vi_acks.setdefault(xid, Signal(self.engine))
+        sig = self._vi_acks.setdefault(xid, Signal(self.engine, name=f"vi-ack[xid={xid}]"))
         yield sig.wait()
         # poll the ack status + stage the VI buffer descriptors + kick the
         # Tx DMA engine (2 writes) ----------------------------------------
@@ -299,7 +311,9 @@ class StarTX:
         """Process (receiver CPU): block until transfer ``xid`` lands."""
         xfer = self._vi_rx.get(xid)
         if xfer is None or not xfer.complete:
-            sig = self._vi_complete.setdefault(xid, Signal(self.engine))
+            sig = self._vi_complete.setdefault(
+                xid, Signal(self.engine, name=f"vi-complete[xid={xid}]")
+            )
             yield sig.wait()
             xfer = self._vi_rx[xid]
         # final status read

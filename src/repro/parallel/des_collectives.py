@@ -77,8 +77,10 @@ def des_global_sum(
 
     start = eng.now
     for r in range(n):
-        eng.process(node_proc(r))
-    eng.run()
+        eng.process(node_proc(r), name=f"gsum-rank{r}")
+    # watchdog: a dropped partial must surface as a DeadlockError naming
+    # the blocked ranks, not as an infinite hang
+    eng.run(watchdog=True)
     elapsed = max(done_times) - start if n > 1 else 0.0
     return [float(v) for v in results], elapsed  # type: ignore[arg-type]
 

@@ -13,15 +13,30 @@ Deadlock is avoided the way the real exchange primitive does it: each
 rank's NIU driver (a server process) accepts inbound transfer requests
 independently of the rank's own sends, so opposite directions of a
 pairwise exchange can always make progress.
+
+Two delivery modes are supported:
+
+* the default **raw** mode ships slabs as VI transfers and assumes the
+  fabric is loss-free (the paper's Section 2.2 stance).  Under fault
+  injection a lost packet stalls the exchange; the engine's deadlock
+  watchdog then raises a diagnostic naming the blocked ranks instead of
+  hanging forever.
+* **reliable** mode routes every byte (slabs *and* the pass barrier)
+  through :class:`repro.niu.reliable.ReliableNIU`, so seeded packet
+  loss/corruption is recovered transparently — at a simulated-time cost
+  that the DES charges honestly — and the exchange stays bit-exact.
 """
 
 from __future__ import annotations
 
+import itertools
+from collections import deque
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.hardware.cluster import HyadesCluster
+from repro.niu.reliable import get_reliable
 from repro.parallel.des_collectives import des_global_sum
 from repro.parallel.tiling import Decomposition
 from repro.sim import Signal
@@ -54,31 +69,38 @@ def _edge_slices(decomp: Decomposition, rank: int, direction: str, width: int):
     raise ValueError(direction)
 
 
-class DESExchanger:
-    """Halo exchange whose bytes travel the simulated hardware."""
+class _VIDemux:
+    """Shared per-cluster VI request servers.
 
-    def __init__(self, cluster: HyadesCluster, decomp: Decomposition) -> None:
-        if decomp.n_ranks > cluster.n_nodes:
-            raise ValueError("decomposition needs more nodes than the cluster has")
+    Exactly one ``vi_serve_request`` consumer may run per NIU — two
+    exchangers each running their own would steal each other's
+    transfers — so the servers and their arrived-slab stash live on the
+    cluster, shared by every :class:`DESExchanger` built on it.
+    """
+
+    def __init__(self, cluster: HyadesCluster) -> None:
         self.cluster = cluster
-        self.decomp = decomp
-        self.engine = cluster.engine
-        # per-rank completed inbound transfers: (src, tag) -> bytes
-        self._arrived: List[Dict[Tuple[int, int], bytes]] = [
-            {} for _ in range(decomp.n_ranks)
+        self.arrived: List[Dict[Tuple[int, int], bytes]] = [
+            {} for _ in range(cluster.n_nodes)
         ]
-        self._signals = [Signal(self.engine) for _ in range(decomp.n_ranks)]
-        self._servers_started = [False] * decomp.n_ranks
-        self._round = 0
-        # out-of-order barrier packets stashed per rank
-        self._barrier_stash: List[list] = [[] for _ in range(decomp.n_ranks)]
+        self.signals = [
+            Signal(cluster.engine, name=f"vi-arrivals[rank{r}]")
+            for r in range(cluster.n_nodes)
+        ]
+        self._started = [False] * cluster.n_nodes
 
-    # -- plumbing -----------------------------------------------------------
+    @classmethod
+    def of(cls, cluster: HyadesCluster) -> "_VIDemux":
+        demux = getattr(cluster, "_vi_demux", None)
+        if demux is None:
+            demux = cls(cluster)
+            cluster._vi_demux = demux
+        return demux
 
-    def _ensure_server(self, rank: int) -> None:
-        if self._servers_started[rank]:
+    def ensure_server(self, rank: int) -> None:
+        if self._started[rank]:
             return
-        self._servers_started[rank] = True
+        self._started[rank] = True
         niu = self.cluster.niu(rank)
 
         def server():
@@ -86,24 +108,114 @@ class DESExchanger:
                 xfer = yield from niu.vi_serve_request()
                 xfer = yield from niu.vi_wait_complete(xfer.xid)
                 # transfer id encodes (round, direction) in its low bits
-                self._arrived[rank][(xfer.src, xfer.xid & 0xFFF)] = bytes(xfer.data)
+                self.arrived[rank][(xfer.src, xfer.xid & 0xFFF)] = bytes(xfer.data)
+                self.signals[rank].fire()
+
+        self.cluster.engine.process(
+            server(), name=f"vi-server[rank{rank}]", daemon=True
+        )
+
+    def await_slab(self, rank: int, src: int, tag: int):
+        """Process: block until the (src, tag) slab has landed."""
+        while (src, tag) not in self.arrived[rank]:
+            yield self.signals[rank].wait()
+        return self.arrived[rank].pop((src, tag))
+
+
+class DESExchanger:
+    """Halo exchange whose bytes travel the simulated hardware.
+
+    With ``reliable=True`` all traffic goes through the go-back-N
+    reliable-delivery layer (surviving injected faults); the default
+    raw VI mode matches the paper's error-free assumption.
+    """
+
+    def __init__(
+        self,
+        cluster: HyadesCluster,
+        decomp: Decomposition,
+        reliable: bool = False,
+        reliable_params: Optional[dict] = None,
+    ) -> None:
+        if decomp.n_ranks > cluster.n_nodes:
+            raise ValueError("decomposition needs more nodes than the cluster has")
+        self.cluster = cluster
+        self.decomp = decomp
+        self.engine = cluster.engine
+        self.reliable = reliable
+        self._round = 0
+        # out-of-order barrier packets stashed per rank (raw mode)
+        self._barrier_stash: List[list] = [[] for _ in range(decomp.n_ranks)]
+        if reliable:
+            self._rnius = [
+                get_reliable(cluster.niu(r), **(reliable_params or {}))
+                for r in range(decomp.n_ranks)
+            ]
+            # distinct channel per exchanger: two exchangers sharing the
+            # cluster (e.g. the two isomorphs of a coupled run) must not
+            # consume each other's messages
+            counter = getattr(cluster, "_rel_channels", None)
+            if counter is None:
+                counter = itertools.count(1)
+                cluster._rel_channels = counter
+            self._cid = next(counter)
+            # (src, tag) -> deque of payloads: a queue, not a single
+            # slot, so a fast rank's next-pass message cannot overwrite
+            # an unconsumed one under the same key
+            self._arrived: List[Dict[Tuple[int, int], deque]] = [
+                {} for _ in range(decomp.n_ranks)
+            ]
+            self._signals = [
+                Signal(self.engine, name=f"halo-arrivals[rank{r}]")
+                for r in range(decomp.n_ranks)
+            ]
+            self._consumers_started = [False] * decomp.n_ranks
+        else:
+            self._demux = _VIDemux.of(cluster)
+
+    # -- reliable-mode plumbing ----------------------------------------
+
+    def _ensure_consumer(self, rank: int) -> None:
+        if self._consumers_started[rank]:
+            return
+        self._consumers_started[rank] = True
+        rniu = self._rnius[rank]
+
+        def consumer():
+            while True:
+                msg = yield from rniu.recv(channel=self._cid)
+                self._arrived[rank].setdefault((msg.src, msg.tag), deque()).append(
+                    msg.data
+                )
                 self._signals[rank].fire()
 
-        self.engine.process(server())
+        self.engine.process(
+            consumer(), name=f"rel-consumer[rank{rank}.ch{self._cid}]", daemon=True
+        )
 
-    def _await_slab(self, rank: int, src: int, tag: int):
-        """Process: block until the (src, tag) slab has landed."""
-        while (src, tag) not in self._arrived[rank]:
+    def _await_message(self, rank: int, src: int, tag: int):
+        """Process: block until reliable message (src, tag) has landed."""
+        stash = self._arrived[rank]
+        while not stash.get((src, tag)):
             yield self._signals[rank].wait()
-        return self._arrived[rank].pop((src, tag))
+        q = stash[(src, tag)]
+        data = q.popleft()
+        if not q:
+            del stash[(src, tag)]
+        return data
 
-    # -- the exchange ---------------------------------------------------------
+    # -- the exchange ---------------------------------------------------
 
     def exchange(self, fields: Sequence[np.ndarray], width: Optional[int] = None) -> float:
         """Run one two-pass halo exchange on the DES; returns elapsed.
 
         ``fields[rank]`` are tile-local arrays (2-D or 3-D), modified in
         place exactly as :func:`exchange_halos` would.
+
+        Failure modes are structured, never silent: a retry-exhausted
+        reliable flow raises :class:`repro.niu.reliable.DeliveryError`;
+        a raw-mode exchange stalled by packet loss raises
+        :class:`repro.sim.DeadlockError` naming the blocked ranks.
         """
         w = self.decomp.olx if width is None else width
         if w == 0:
@@ -111,51 +223,88 @@ class DESExchanger:
         start = self.engine.now
         self._round += 1
         done = [False] * self.decomp.n_ranks
-
-        def rank_proc(rank: int):
-            self._ensure_server(rank)
-            arr = fields[rank]
-            niu = self.cluster.niu(rank)
-            for pass_dirs in (("west", "east"), ("south", "north")):
-                expected = []
-                for d in pass_dirs:
-                    nbr = self.decomp.neighbor(rank, d)
-                    if nbr is None:
-                        continue
-                    send_sl, recv_sl = _edge_slices(self.decomp, rank, d, w)
-                    slab = np.ascontiguousarray(arr[(Ellipsis,) + send_sl])
-                    tag = (self._round % 16) * 64 + _DIRECTIONS.index(d)
-                    if nbr == rank:
-                        # periodic self-wrap: shared memory, no network
-                        _, self_recv = _edge_slices(self.decomp, rank, _OPPOSITE[d], w)
-                        arr[(Ellipsis,) + self_recv] = slab
-                        continue
-                    yield from niu.vi_send(
-                        nbr, slab.nbytes, data=slab.tobytes(), xid=(rank << 12) | tag
-                    )
-                    expected.append((d, nbr))
-                for d, nbr in expected:
-                    # the neighbour ships its edge facing us with the
-                    # opposite direction's tag
-                    opp_tag = (self._round % 16) * 64 + _DIRECTIONS.index(_OPPOSITE[d])
-                    raw = yield from self._await_slab(rank, nbr, opp_tag)
-                    _, recv_sl = _edge_slices(self.decomp, rank, d, w)
-                    view = arr[(Ellipsis,) + recv_sl]
-                    view[...] = np.frombuffer(raw, dtype=arr.dtype).reshape(view.shape)
-                # pass barrier so corner data is coherent before y-pass
-                yield from self._barrier_round(rank)
-            done[rank] = True
+        proc = self._rank_proc_reliable if self.reliable else self._rank_proc_raw
 
         for r in range(self.decomp.n_ranks):
-            self.engine.process(rank_proc(r))
-        self.engine.run()
+            self.engine.process(proc(r, fields, w, done), name=f"rank{r}")
+        self.engine.run(watchdog=True)
         if not all(done):
-            raise RuntimeError("DES exchange deadlocked")
+            stuck = [r for r, d in enumerate(done) if not d]
+            raise RuntimeError(f"DES exchange failed on ranks {stuck}")
         return self.engine.now - start
 
-    def _barrier_round(self, rank: int):
+    def _pass_plan(self, rank: int, arr: np.ndarray, pass_dirs, w: int):
+        """The sends/receives of one pass: performs periodic self-wraps
+        inline, returns [(direction, neighbour, slab_bytes)] to ship."""
+        out = []
+        for d in pass_dirs:
+            nbr = self.decomp.neighbor(rank, d)
+            if nbr is None:
+                continue
+            send_sl, _ = _edge_slices(self.decomp, rank, d, w)
+            slab = np.ascontiguousarray(arr[(Ellipsis,) + send_sl])
+            if nbr == rank:
+                # periodic self-wrap: shared memory, no network
+                _, self_recv = _edge_slices(self.decomp, rank, _OPPOSITE[d], w)
+                arr[(Ellipsis,) + self_recv] = slab
+                continue
+            out.append((d, nbr, slab.tobytes()))
+        return out
+
+    def _fill_halo(self, rank: int, arr: np.ndarray, d: str, w: int, raw: bytes) -> None:
+        _, recv_sl = _edge_slices(self.decomp, rank, d, w)
+        view = arr[(Ellipsis,) + recv_sl]
+        view[...] = np.frombuffer(raw, dtype=arr.dtype).reshape(view.shape)
+
+    def _dir_tag(self, direction: str) -> int:
+        return (self._round % 16) * 64 + _DIRECTIONS.index(direction)
+
+    def _rank_proc_raw(self, rank: int, fields, w: int, done):
+        self._demux.ensure_server(rank)
+        arr = fields[rank]
+        niu = self.cluster.niu(rank)
+        for pass_i, pass_dirs in enumerate((("west", "east"), ("south", "north"))):
+            plan = self._pass_plan(rank, arr, pass_dirs, w)
+            for d, nbr, raw in plan:
+                yield from niu.vi_send(
+                    nbr, len(raw), data=raw, xid=(rank << 12) | self._dir_tag(d)
+                )
+            for d, nbr, _raw in plan:
+                # the neighbour ships its edge facing us with the
+                # opposite direction's tag
+                raw = yield from self._demux.await_slab(
+                    rank, nbr, self._dir_tag(_OPPOSITE[d])
+                )
+                self._fill_halo(rank, arr, d, w, raw)
+            # pass barrier so corner data is coherent before y-pass
+            yield from self._barrier_round_raw(rank, pass_i)
+        done[rank] = True
+
+    def _rank_proc_reliable(self, rank: int, fields, w: int, done):
+        self._ensure_consumer(rank)
+        arr = fields[rank]
+        rniu = self._rnius[rank]
+        for pass_i, pass_dirs in enumerate((("west", "east"), ("south", "north"))):
+            plan = self._pass_plan(rank, arr, pass_dirs, w)
+            for d, nbr, raw in plan:
+                yield from rniu.send(
+                    nbr, tag=self._dir_tag(d), data=raw, channel=self._cid
+                )
+            for d, nbr, _raw in plan:
+                raw = yield from self._await_message(
+                    rank, nbr, self._dir_tag(_OPPOSITE[d])
+                )
+                self._fill_halo(rank, arr, d, w, raw)
+            yield from self._barrier_round_reliable(rank, pass_i)
+        done[rank] = True
+
+    def _barrier_round_raw(self, rank: int, pass_i: int):
         """Process: a cheap dissemination barrier over the ranks using
-        8-byte PIO messages (keeps the two passes separated)."""
+        8-byte PIO messages (keeps the two passes separated).
+
+        Tags are unique per pass: a fast rank pair may reach the second
+        pass's barrier while a slow rank is still in the first's, and
+        the two barriers' messages must not satisfy each other."""
         n = self.decomp.n_ranks
         if n == 1:
             return
@@ -165,27 +314,56 @@ class DESExchanger:
         while shift < n:
             to = (rank + shift) % n
             frm = (rank - shift) % n
-            yield from niu.pio_send(to, [self._round % 1024, round_i], tag=0x500 + round_i)
+            tag = 0x500 + pass_i * 8 + round_i
+            yield from niu.pio_send(to, [self._round % 1024, round_i], tag=tag)
             # wait for the matching message, stashing early arrivals
             stash = self._barrier_stash[rank]
             while True:
                 hit = next(
-                    (
-                        p
-                        for p in stash
-                        if p.tag == 0x500 + round_i and p.src == frm
-                    ),
+                    (p for p in stash if p.tag == tag and p.src == frm),
                     None,
                 )
                 if hit is not None:
                     stash.remove(hit)
                     break
                 pkt = yield from niu.pio_recv()
-                if pkt.tag == 0x500 + round_i and pkt.src == frm:
+                if pkt.tag == tag and pkt.src == frm:
                     break
                 stash.append(pkt)
             shift <<= 1
             round_i += 1
+
+    def _barrier_round_reliable(self, rank: int, pass_i: int):
+        """Process: the same dissemination barrier, but over zero-byte
+        reliable messages so injected faults cannot wedge it.  Tags are
+        unique per pass for the same reason as the raw barrier's."""
+        n = self.decomp.n_ranks
+        if n == 1:
+            return
+        rniu = self._rnius[rank]
+        shift = 1
+        round_i = 0
+        while shift < n:
+            to = (rank + shift) % n
+            frm = (rank - shift) % n
+            tag = (self._round % 16) * 64 + 32 + pass_i * 8 + round_i
+            yield from rniu.send(to, tag=tag, channel=self._cid)
+            yield from self._await_message(rank, frm, tag)
+            shift <<= 1
+            round_i += 1
+
+    # -- reporting -------------------------------------------------------
+
+    def reliability_stats(self) -> dict:
+        """Aggregated reliable-layer counters across this exchanger's
+        ranks (empty in raw mode)."""
+        if not self.reliable:
+            return {}
+        totals: dict = {}
+        for rn in self._rnius:
+            for key, val in rn.stats().items():
+                totals[key] = totals.get(key, 0) + val
+        return totals
 
 
 def des_global_mean(cluster: HyadesCluster, decomp: Decomposition, fields) -> float:

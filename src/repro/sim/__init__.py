@@ -12,11 +12,12 @@ FIFO scheduling order (a monotonically increasing sequence number breaks
 ties), so simulations are exactly reproducible run-to-run.
 """
 
-from repro.sim.engine import Engine, Interrupt, SimTimeError
+from repro.sim.engine import DeadlockError, Engine, Interrupt, SimTimeError
 from repro.sim.process import Process, Timeout, AllOf, AnyOf
 from repro.sim.resources import Store, PriorityStore, Resource, Signal
 
 __all__ = [
+    "DeadlockError",
     "Engine",
     "Interrupt",
     "SimTimeError",

@@ -16,6 +16,25 @@ class SimTimeError(ValueError):
     """Raised when an event is scheduled in the (virtual) past."""
 
 
+class DeadlockError(RuntimeError):
+    """Raised by the watchdog: the event heap drained to quiescence while
+    worker (non-daemon) processes were still blocked.
+
+    ``blocked`` carries the stuck :class:`~repro.sim.process.Process`
+    objects so callers can inspect which ranks hung and on what queue.
+    """
+
+    def __init__(self, blocked: list) -> None:
+        self.blocked = list(blocked)
+        detail = "; ".join(
+            f"{p.name} waiting on {p.waiting_desc()}" for p in self.blocked
+        )
+        super().__init__(
+            f"simulation quiescent with {len(self.blocked)} blocked "
+            f"process(es): {detail}"
+        )
+
+
 class Interrupt(Exception):
     """Thrown *into* a process that another process interrupted.
 
@@ -41,6 +60,7 @@ class Engine:
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._nevents = 0
+        self._processes: list = []  # every Process ever registered (pruned lazily)
 
     @property
     def now(self) -> float:
@@ -64,11 +84,30 @@ class Engine:
             raise SimTimeError(f"cannot schedule at {when} < now {self._now}")
         heapq.heappush(self._heap, (when, next(self._seq), fn))
 
-    def process(self, gen: Iterator[Any]) -> "Process":
-        """Register a generator as a simulation process and start it now."""
+    def process(self, gen: Iterator[Any], name: Optional[str] = None, daemon: bool = False) -> "Process":
+        """Register a generator as a simulation process and start it now.
+
+        ``daemon`` marks service processes (link transmitters, protocol
+        dispatchers) that legitimately block forever; the deadlock
+        watchdog ignores them.
+        """
         from repro.sim.process import Process
 
-        return Process(self, gen)
+        return Process(self, gen, name=name, daemon=daemon)
+
+    def _register_process(self, proc: Any) -> None:
+        self._processes.append(proc)
+        if len(self._processes) > 4096:
+            self._processes = [p for p in self._processes if p.alive]
+
+    def blocked_processes(self) -> list:
+        """Worker (non-daemon) processes currently blocked on a waitable."""
+        self._processes = [p for p in self._processes if p.alive]
+        return [
+            p
+            for p in self._processes
+            if not p.daemon and p._waiting_on is not None
+        ]
 
     def timeout(self, delay: float) -> "Timeout":
         """Waitable that fires ``delay`` seconds from now."""
@@ -76,10 +115,21 @@ class Engine:
 
         return Timeout(self, delay)
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+        watchdog: bool = False,
+    ) -> float:
         """Dispatch events until the heap drains, ``until`` passes, or
         ``max_events`` have run.  Returns the final virtual time.
+
+        With ``watchdog=True`` the engine checks for deadlock at
+        quiescence: if the heap drained while non-daemon processes are
+        still blocked on waitables, it raises :class:`DeadlockError`
+        naming the stuck processes and the queues they wait on.
         """
+        hit_cap = False
         while self._heap:
             when, _seq, fn = self._heap[0]
             if until is not None and when > until:
@@ -90,7 +140,12 @@ class Engine:
             self._nevents += 1
             fn()
             if max_events is not None and self._nevents >= max_events:
+                hit_cap = True
                 break
+        if watchdog and not self._heap and not hit_cap:
+            blocked = self.blocked_processes()
+            if blocked:
+                raise DeadlockError(blocked)
         if until is not None and self._now < until:
             self._now = until
         return self._now

@@ -129,16 +129,31 @@ class Process(BaseEvent):
     interrupts).
     """
 
-    def __init__(self, engine: Engine, gen: Iterator[Any], name: Optional[str] = None) -> None:
+    def __init__(
+        self,
+        engine: Engine,
+        gen: Iterator[Any],
+        name: Optional[str] = None,
+        daemon: bool = False,
+    ) -> None:
         super().__init__(engine)
         self.gen = gen
         self.name = name or getattr(gen, "__name__", "process")
+        self.daemon = daemon
         self._waiting_on: Optional[BaseEvent] = None
+        engine._register_process(self)
         engine.schedule(0.0, lambda: self._resume(None, None))
 
     @property
     def alive(self) -> bool:
         return not self.triggered
+
+    def waiting_desc(self) -> str:
+        """Human-readable description of what this process blocks on."""
+        ev = self._waiting_on
+        if ev is None:
+            return "nothing (runnable)"
+        return getattr(ev, "desc", None) or type(ev).__name__
 
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into the process at the current time."""

@@ -23,14 +23,20 @@ class Store:
     exerts back-pressure.
     """
 
-    def __init__(self, engine: Engine, capacity: Optional[int] = None) -> None:
+    def __init__(
+        self, engine: Engine, capacity: Optional[int] = None, name: Optional[str] = None
+    ) -> None:
         if capacity is not None and capacity <= 0:
             raise ValueError("capacity must be positive or None")
         self.engine = engine
         self.capacity = capacity
+        self.name = name
         self._items: deque[Any] = deque()
         self._getters: deque[BaseEvent] = deque()
         self._putters: deque[tuple[BaseEvent, Any]] = deque()
+
+    def _label(self) -> str:
+        return f"{type(self).__name__}({self.name})" if self.name else type(self).__name__
 
     def __len__(self) -> int:
         return len(self._items)
@@ -61,6 +67,7 @@ class Store:
     def get(self) -> BaseEvent:
         """Waitable that fires with the next item."""
         ev = BaseEvent(self.engine)
+        ev.desc = f"{self._label()}.get"
         if self._items:
             ev.succeed(self._take())
         else:
@@ -94,8 +101,10 @@ class PriorityStore(Store):
     can never be blocked behind low-priority ones.
     """
 
-    def __init__(self, engine: Engine, capacity: Optional[int] = None) -> None:
-        super().__init__(engine, capacity)
+    def __init__(
+        self, engine: Engine, capacity: Optional[int] = None, name: Optional[str] = None
+    ) -> None:
+        super().__init__(engine, capacity, name=name)
         self._heap: list[tuple[Any, int, Any]] = []
         self._seq = itertools.count()
 
@@ -128,6 +137,7 @@ class PriorityStore(Store):
     def get(self) -> BaseEvent:
         """Waitable yielding the highest-priority item."""
         ev = BaseEvent(self.engine)
+        ev.desc = f"{self._label()}.get"
         if self._heap:
             ev.succeed(self._take())
         else:
@@ -193,13 +203,15 @@ class Resource:
 class Signal:
     """A broadcast condition: every waiter is released on each ``fire``."""
 
-    def __init__(self, engine: Engine) -> None:
+    def __init__(self, engine: Engine, name: Optional[str] = None) -> None:
         self.engine = engine
+        self.name = name
         self._waiters: deque[BaseEvent] = deque()
 
     def wait(self) -> BaseEvent:
         """Waitable released at the next :meth:`fire`."""
         ev = BaseEvent(self.engine)
+        ev.desc = f"Signal({self.name}).wait" if self.name else "Signal.wait"
         self._waiters.append(ev)
         return ev
 

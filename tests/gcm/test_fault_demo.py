@@ -1,0 +1,53 @@
+"""The headline acceptance demo: a coupled integration over a faulty
+fabric finishes bit-identical to the fault-free run, and the same plan
+without retransmits yields the watchdog diagnostic instead of a hang."""
+
+import pytest
+
+from repro.faults import FaultPlan, run_coupled_fault_demo
+
+
+@pytest.fixture(scope="module")
+def reliable_result():
+    # >= 1% packet loss, as the acceptance criterion demands
+    return run_coupled_fault_demo(
+        seed=7, drop=0.01, corrupt=0.002, windows=1, reliable=True
+    )
+
+
+class TestReliableRecovery:
+    def test_bit_exact_under_faults(self, reliable_result):
+        assert reliable_result.bit_exact
+
+    def test_faults_were_actually_injected(self, reliable_result):
+        fc = reliable_result.fault_counters
+        assert fc["injected_drops"] > 0
+        assert fc["injected_corruptions"] > 0
+        assert fc["router_crc_drops"] > 0
+
+    def test_recovery_counters_populated(self, reliable_result):
+        pr = reliable_result.protocol
+        assert pr["retransmissions"] > 0
+        assert pr["acks_sent"] > 0
+        assert pr["messages_delivered"] > 0
+
+    def test_recovery_costs_simulated_time(self, reliable_result):
+        assert reliable_result.wire_time_faulty > reliable_result.wire_time_clean
+        assert reliable_result.overhead > 0
+        assert reliable_result.overhead_pct > 0
+
+    def test_per_link_counters_name_links(self, reliable_result):
+        assert reliable_result.per_link
+        for name, dropped, corrupted in reliable_result.per_link:
+            assert isinstance(name, str) and (dropped or corrupted)
+
+
+class TestRawModeDiagnostic:
+    def test_same_plan_without_retransmits_deadlocks_with_names(self):
+        res = run_coupled_fault_demo(
+            plan=FaultPlan(seed=7, drop_prob=0.02), windows=1, reliable=False
+        )
+        assert not res.bit_exact
+        assert res.deadlock is not None
+        assert "blocked process(es)" in res.deadlock
+        assert "rank" in res.deadlock

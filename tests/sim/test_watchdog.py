@@ -1,0 +1,113 @@
+"""The engine's deadlock watchdog: quiescence with blocked processes
+must surface as a diagnostic naming who is stuck on what, never as a
+silent return (or, in real time, an infinite hang)."""
+
+import pytest
+
+from repro.sim import DeadlockError, Engine, Signal, Store
+
+
+class TestWatchdog:
+    def test_blocked_worker_raises_with_name_and_wait(self):
+        eng = Engine()
+        store = Store(eng, name="inbox")
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="consumer")
+        with pytest.raises(DeadlockError, match=r"consumer waiting on Store\(inbox\).get"):
+            eng.run(watchdog=True)
+
+    def test_multiple_blocked_processes_all_named(self):
+        eng = Engine()
+        sig = Signal(eng, name="never")
+
+        def worker():
+            yield sig.wait()
+
+        for i in range(3):
+            eng.process(worker(), name=f"rank{i}")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(watchdog=True)
+        msg = str(ei.value)
+        assert "3 blocked process(es)" in msg
+        for i in range(3):
+            assert f"rank{i}" in msg
+        assert "Signal(never).wait" in msg
+
+    def test_blocked_list_carries_processes(self):
+        eng = Engine()
+        store = Store(eng)
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="w")
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(watchdog=True)
+        assert [p.name for p in ei.value.blocked] == ["w"]
+
+    def test_daemons_do_not_trigger(self):
+        """Server loops are infrastructure: a run that quiesces with only
+        daemons blocked is a *completed* run."""
+        eng = Engine()
+        store = Store(eng)
+
+        def server():
+            while True:
+                yield store.get()
+
+        eng.process(server(), name="server", daemon=True)
+        eng.run(watchdog=True)  # no raise
+
+    def test_watchdog_off_by_default(self):
+        eng = Engine()
+        store = Store(eng)
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="w")
+        eng.run()  # legacy behaviour: quiesce silently
+
+    def test_completed_workers_do_not_trigger(self):
+        eng = Engine()
+        done = []
+
+        def worker():
+            yield eng.timeout(1.0)
+            done.append(True)
+
+        eng.process(worker(), name="w")
+        eng.run(watchdog=True)
+        assert done == [True]
+
+    def test_until_cap_does_not_false_positive(self):
+        """Stopping at a time horizon is not quiescence: a process merely
+        sleeping past ``until`` must not be reported as deadlocked."""
+        eng = Engine()
+
+        def sleeper():
+            yield eng.timeout(10.0)
+
+        eng.process(sleeper(), name="s")
+        eng.run(until=1.0, watchdog=True)  # no raise
+
+    def test_unblocked_after_fire_not_reported(self):
+        eng = Engine()
+        sig = Signal(eng, name="go")
+        got = []
+
+        def worker():
+            yield sig.wait()
+            got.append(eng.now)
+
+        def firer():
+            yield eng.timeout(2.0)
+            sig.fire()
+
+        eng.process(worker(), name="w")
+        eng.process(firer(), name="f")
+        eng.run(watchdog=True)
+        assert got == [2.0]
