@@ -8,6 +8,14 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
+if command -v ruff >/dev/null 2>&1; then
+  echo "== ruff lint =="
+  ruff check src tests
+else
+  echo "== ruff lint == (skipped: ruff not installed)"
+fi
+
+echo
 echo "== tier-1 test suite =="
 python -m pytest -x -q "$@" tests/
 
@@ -18,6 +26,14 @@ python -m repro faults --seed 7 --drop 0.01 --corrupt 0.002 --windows 1
 echo
 echo "== seeded fault smoke (no-retry must produce the watchdog diagnostic) =="
 python -m repro faults --seed 7 --drop 0.02 --windows 1 --no-retry
+
+echo
+echo "== crash-recovery smoke (mid-run node death must self-heal bit-exact) =="
+python -m repro faults --crash 1@auto | tee fault_recovery_report.txt
+
+echo
+echo "== crash-recovery smoke (no-recover must fail with a structured error) =="
+python -m repro faults --crash 1@auto --no-recover | tee -a fault_recovery_report.txt
 
 echo
 echo "ci.sh: all checks passed"

@@ -10,6 +10,10 @@ Commands:
 * ``faults`` — coupled run under a seeded fault plan (``--seed``,
   ``--drop``, ``--corrupt``); bit-exact recovery via the reliable
   layer, or the watchdog deadlock diagnostic with ``--no-retry``.
+  With ``--crash NODE@TIME`` (repeatable) a node fail-stops mid-run:
+  the self-healing runtime detects it, rolls back to the last
+  coordinated checkpoint and finishes bit-exact (``--no-recover``
+  shows the structured failure instead).
 """
 
 from __future__ import annotations
@@ -20,7 +24,7 @@ from typing import Optional, Sequence
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from repro.core.report import SECTIONS, render_report
+    from repro.core.report import render_report
 
     keys = args.sections or None
     try:
@@ -78,10 +82,80 @@ def _cmd_century(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_crash(spec: str) -> tuple:
+    """Parse a ``--crash`` spec: ``NODE@TIME``, ``NODE@auto`` or ``NODE``."""
+    node, _, when = spec.partition("@")
+    try:
+        return int(node), (None if when in ("", "auto") else float(when))
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected NODE@TIME (e.g. '1@0.004' or '1@auto'), got {spec!r}"
+        ) from exc
+
+
+def _cmd_crash(args: argparse.Namespace) -> int:
+    """Mid-run node crash: self-healing recovery (or its absence)."""
+    from repro.faults import run_crash_recovery_demo
+
+    reliable = not args.no_retry
+    primary, extra = args.crash[0], tuple(args.crash[1:])
+    when = "auto" if primary[1] is None else f"t={primary[1]:.6g}s"
+    print(
+        f"crash plan: node {primary[0]} fail-stops at {when}"
+        + (f" (+{len(extra)} more)" if extra else "")
+        + f"; {args.windows} coupling window(s), "
+        + (
+            f"recovery ON (checkpoint every {args.interval} window(s), "
+            f"{args.spares} spare(s))"
+            if args.recover
+            else "recovery OFF ("
+            + ("reliable delivery" if reliable else "raw VI")
+            + ")"
+        )
+    )
+    res = run_crash_recovery_demo(
+        crash_node=primary[0],
+        crash_time=primary[1],
+        extra_crashes=extra,
+        windows=args.windows,
+        recover=args.recover,
+        reliable=reliable,
+        checkpoint_interval=args.interval,
+        n_spares=args.spares,
+    )
+    if res.error is not None:
+        print(f"run died with structured {res.error_type}:")
+        print(f"  {res.error}")
+        # Without recovery the structured failure *is* the demo.
+        return 0 if not args.recover else 1
+    lat = res.detection_latency
+    print(
+        f"detected: node {res.crash_node} declared dead "
+        + (f"{lat * 1e6:.0f} us after the crash" if lat is not None else "")
+    )
+    for rank, old, new in res.remaps:
+        print(f"  rank {rank}: node {old} -> node {new}")
+    print(
+        f"rolled back to checkpoint window {res.restored_window}; "
+        f"recomputed to window {res.windows}"
+    )
+    print(
+        f"overhead (virtual): checkpoint tax {res.checkpoint_tax * 1e3:.2f} ms, "
+        f"rollback {res.rollback_cost * 1e3:.2f} ms, "
+        f"recompute {res.recompute_cost * 1e3:.2f} ms "
+        f"(total {res.total_overhead * 1e3:.2f} ms on a "
+        f"{res.engine_time_clean * 1e3:.2f} ms run)"
+    )
+    print(f"coupled state bit-exact vs fault-free run: {res.bit_exact}")
+    return 0 if res.bit_exact else 1
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Coupled run under a seeded fault plan: the reliability headline."""
     from repro.faults import run_coupled_fault_demo
 
+    if args.crash:
+        return _cmd_crash(args)
     reliable = not args.no_retry
     print(
         f"fault plan: seed={args.seed} drop={args.drop:.2%} corrupt={args.corrupt:.2%}; "
@@ -142,7 +216,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_report = sub.add_parser("report", help="regenerate the headline paper tables")
-    p_report.add_argument("sections", nargs="*", help="fig2 fig7 fig8 fig10 fig11 fig12 sec53")
+    p_report.add_argument(
+        "sections",
+        nargs="*",
+        help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 faults recovery",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_run = sub.add_parser("run", help="short ocean integration")
@@ -174,6 +252,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p_faults.add_argument(
         "--links", action="store_true", help="print per-link fault counters"
+    )
+    p_faults.add_argument(
+        "--crash",
+        action="append",
+        type=_parse_crash,
+        default=[],
+        metavar="NODE@TIME",
+        help="fail-stop NODE at virtual TIME seconds ('auto' = mid-run); "
+        "repeatable — a second crash can exhaust the spare pool",
+    )
+    p_faults.add_argument(
+        "--recover",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="self-heal crashes via checkpoint rollback (--no-recover "
+        "shows the structured failure instead)",
+    )
+    p_faults.add_argument(
+        "--interval", type=int, default=2, help="windows between checkpoints (K)"
+    )
+    p_faults.add_argument(
+        "--spares", type=int, default=1, help="hot-spare nodes in the cluster"
     )
     p_faults.set_defaults(func=_cmd_faults)
 

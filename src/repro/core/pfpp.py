@@ -14,7 +14,7 @@ CPUs helps; if Pfpp is *below* it, only a better interconnect can.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Mapping
 
 from repro.core.constants import ATM_PS_PARAMS, DS_PARAMS, FIG12_PAPER
 from repro.network.costmodel import (

@@ -17,7 +17,6 @@ from repro.core.constants import DS_PARAMS, OCN_PS_PARAMS, VALIDATION
 from repro.core.perf_model import DSPhaseParams, PerformanceModel, PSPhaseParams
 from repro.hardware.vector_machines import (
     HYADES_PAPER_ROWS,
-    MachinePerformance,
     VECTOR_MACHINES,
 )
 

@@ -25,7 +25,12 @@ from repro.faults.plan import (
     StallEvent,
 )
 from repro.faults.inject import FaultInjector
-from repro.faults.demo import FaultDemoResult, run_coupled_fault_demo
+from repro.faults.demo import (
+    CrashRecoveryResult,
+    FaultDemoResult,
+    run_coupled_fault_demo,
+    run_crash_recovery_demo,
+)
 
 __all__ = [
     "BandwidthEvent",
@@ -34,6 +39,8 @@ __all__ = [
     "LinkFaultModel",
     "StallEvent",
     "FaultInjector",
+    "CrashRecoveryResult",
     "FaultDemoResult",
     "run_coupled_fault_demo",
+    "run_crash_recovery_demo",
 ]

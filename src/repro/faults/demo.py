@@ -14,6 +14,7 @@ a diagnostic naming the blocked ranks, which the result carries.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -21,7 +22,7 @@ import numpy as np
 
 from repro.hardware.cluster import HyadesCluster, HyadesConfig
 from repro.faults.inject import FaultInjector
-from repro.faults.plan import FaultPlan
+from repro.faults.plan import CrashEvent, FaultPlan
 from repro.gcm.coupled import CouplerParams, DESCoupledModel
 from repro.gcm.state import FIELDS_2D, FIELDS_3D
 from repro.sim import DeadlockError
@@ -72,6 +73,7 @@ def _build_coupled(
     px: int,
     py: int,
     coupling_interval: int,
+    recovery=None,
 ) -> DESCoupledModel:
     from repro.gcm.atmosphere import atmosphere_model
     from repro.gcm.ocean import ocean_model
@@ -85,6 +87,7 @@ def _build_coupled(
         cluster,
         CouplerParams(coupling_interval=coupling_interval),
         reliable=reliable,
+        recovery=recovery,
     )
 
 
@@ -165,3 +168,199 @@ def run_coupled_fault_demo(
         per_link=injector.per_link_counters(),
         deadlock=deadlock,
     )
+
+
+# ---------------------------------------------------------------------------
+# Crash-recovery headline demo
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CrashRecoveryResult:
+    """Outcome of one mid-run node-crash experiment."""
+
+    recover: bool
+    reliable: bool
+    windows: int
+    crash_node: int
+    crash_time: float
+    #: True when the self-healed run matches the fault-free run
+    #: bit-for-bit in every prognostic field of both components.
+    bit_exact: bool
+    #: Virtual seconds the fault-free reference run took end-to-end.
+    engine_time_clean: float
+    #: Virtual seconds the crashed run took (NaN if it died).
+    engine_time_faulty: float
+    #: Seconds from the physical crash to the survivors' declaration.
+    detection_latency: Optional[float] = None
+    #: Checkpoint window the run rolled back to.
+    restored_window: Optional[int] = None
+    #: ``(rank, dead_node, new_node)`` placements after recovery.
+    remaps: list = field(default_factory=list)
+    #: DES seconds spent taking committed checkpoints (the steady tax).
+    checkpoint_tax: float = 0.0
+    #: DES seconds of the rollback itself (disk reads + barrier).
+    rollback_cost: float = 0.0
+    #: DES seconds of re-running windows already computed pre-crash.
+    recompute_cost: float = 0.0
+    #: Full :meth:`~repro.recover.RecoveryManager.overhead_report`.
+    report: dict = field(default_factory=dict)
+    #: The structured error when ``recover`` is off (DeliveryError for
+    #: the reliable layer, the watchdog's DeadlockError diagnostic for
+    #: raw VI) or when recovery itself gave up (UnrecoverableError).
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+
+    @property
+    def total_overhead(self) -> float:
+        """Extra virtual seconds the crash + recovery machinery cost."""
+        return self.engine_time_faulty - self.engine_time_clean
+
+
+def run_crash_recovery_demo(
+    crash_node: int = 1,
+    crash_time: Optional[float] = None,
+    extra_crashes: tuple = (),
+    windows: int = 3,
+    recover: bool = True,
+    reliable: bool = True,
+    checkpoint_interval: int = 2,
+    n_spares: int = 1,
+    allow_redistribute: bool = False,
+    checkpoint_dir: Optional[str] = None,
+    nx: int = 16,
+    ny: int = 8,
+    nz_atm: int = 3,
+    nz_ocn: int = 4,
+    px: int = 2,
+    py: int = 2,
+    coupling_interval: int = 2,
+) -> CrashRecoveryResult:
+    """Kill a node mid-run and (optionally) self-heal to a bit-exact finish.
+
+    Runs the coupled integration twice: once fault-free as the reference
+    answer, once with ``crash_node`` fail-stopping at ``crash_time``
+    (default: about halfway through the post-first-checkpoint part of
+    the reference run, so there is a committed checkpoint to roll back
+    to).  With ``recover`` on, the reference run is itself
+    recovery-armed (heartbeats + checkpoints, no fault) so the two
+    timelines are comparable; the crashed run detects the death by
+    missed heartbeats, remaps the dead node's ranks onto a hot spare,
+    rolls back to the last coordinated checkpoint and recomputes — the
+    result reports the measured detection latency, checkpoint tax,
+    rollback and recompute costs, all in virtual time.
+
+    With ``recover`` off the same crash surfaces as a structured error
+    instead of a hang: a DeliveryError from the reliable layer
+    (``reliable=True``) or the crash-annotated watchdog DeadlockError
+    naming the wedged ranks (``reliable=False``).
+
+    ``extra_crashes`` adds further ``(node, time)`` deaths to the plan
+    (``time=None`` means shortly after the primary crash) — killing a
+    rank node *and* its replacement spare this way demonstrates the
+    spare-pool-exhausted :class:`~repro.recover.UnrecoverableError`.
+    """
+    from repro.recover import RecoveryConfig
+
+    # The fat-tree wants a power-of-two endpoint count; extras idle.
+    n_nodes = 2
+    while n_nodes < px * py + n_spares:
+        n_nodes *= 2
+    shape = dict(
+        nx=nx, ny=ny, nz_atm=nz_atm, nz_ocn=nz_ocn, px=px, py=py,
+        coupling_interval=coupling_interval,
+    )
+
+    recovery = (
+        RecoveryConfig(
+            checkpoint_interval=checkpoint_interval,
+            checkpoint_dir=checkpoint_dir,
+            allow_redistribute=allow_redistribute,
+        )
+        if recover
+        else None
+    )
+
+    # -- fault-free reference -------------------------------------------
+    # Recovery-armed when the crashed run will be, so the two timelines
+    # pay the same heartbeat + checkpoint tax and differ only by the
+    # crash (checkpoints read state, never perturb it).
+    clean_cluster = HyadesCluster(HyadesConfig(n_nodes=n_nodes, n_spares=n_spares))
+    clean_recovery = (
+        # Never share the crashed run's checkpoint directory.
+        dataclasses.replace(recovery, checkpoint_dir=None)
+        if recovery is not None
+        else None
+    )
+    clean = _build_coupled(
+        clean_cluster, reliable=True, recovery=clean_recovery, **shape
+    )
+    clean.run(windows)
+    clean_state = _global_state(clean)
+    engine_time_clean = clean_cluster.engine.now
+    clean_tax = 0.0
+    first_commit = 0.0
+    if clean.recovery is not None:
+        clean_rep = clean.recovery.overhead_report()
+        clean_tax = clean_rep["checkpoint_des_seconds"]
+        first_commit = clean_rep["checkpoints"][0]["committed_at"]
+
+    if crash_time is None:
+        # Land after the first checkpoint commits, mid-way through what
+        # remains — there is always something to roll back to.
+        crash_time = first_commit + 0.5 * (engine_time_clean - first_commit)
+
+    # -- crashed run ----------------------------------------------------
+    crashes = [CrashEvent(node=crash_node, start=crash_time)]
+    for node, when in extra_crashes:
+        if when is None:
+            when = crash_time + 0.25 * engine_time_clean
+        crashes.append(CrashEvent(node=int(node), start=float(when)))
+    plan = FaultPlan(crashes=tuple(crashes))
+    faulty_cluster = HyadesCluster(HyadesConfig(n_nodes=n_nodes, n_spares=n_spares))
+    FaultInjector(faulty_cluster.fabric, plan)
+    result = CrashRecoveryResult(
+        recover=recover,
+        reliable=reliable,
+        windows=windows,
+        crash_node=crash_node,
+        crash_time=crash_time,
+        bit_exact=False,
+        engine_time_clean=engine_time_clean,
+        engine_time_faulty=float("nan"),
+    )
+    faulty = None
+    try:
+        faulty = _build_coupled(
+            faulty_cluster, reliable=reliable, recovery=recovery, **shape
+        )
+        faulty.run(windows)
+    except Exception as exc:  # DeliveryError / DeadlockError / Unrecoverable
+        result.error = str(exc)
+        result.error_type = type(exc).__name__
+        return result
+
+    result.bit_exact = _states_equal(clean_state, _global_state(faulty))
+    result.engine_time_faulty = faulty_cluster.engine.now
+    if recover and faulty.recovery is not None:
+        rep = faulty.recovery.overhead_report()
+        result.report = rep
+        result.checkpoint_tax = rep["checkpoint_des_seconds"]
+        result.rollback_cost = rep["rollback_des_seconds"]
+        if rep["recoveries"]:
+            rec = rep["recoveries"][0]
+            result.detection_latency = rec["detection_latency"]
+            result.restored_window = rec["restored_window"]
+            result.remaps = list(rec["remaps"])
+        # The reference already paid the steady checkpoint tax; only the
+        # *re-taken* checkpoints after rollback are crash overhead.
+        extra_tax = result.checkpoint_tax - clean_tax
+        overhead = result.total_overhead
+        result.recompute_cost = max(
+            0.0,
+            overhead
+            - extra_tax
+            - result.rollback_cost
+            - (result.detection_latency or 0.0),
+        )
+    return result

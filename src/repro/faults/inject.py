@@ -90,7 +90,7 @@ class FaultInjector:
     def per_link_counters(self) -> list[tuple[str, int, int]]:
         """``(link name, dropped, corrupted)`` for links that saw faults."""
         return [
-            (l.name, l.stats.dropped, l.stats.corrupted)
-            for l in self.fabric.iter_links()
-            if l.stats.dropped or l.stats.corrupted
+            (link.name, link.stats.dropped, link.stats.corrupted)
+            for link in self.fabric.iter_links()
+            if link.stats.dropped or link.stats.corrupted
         ]

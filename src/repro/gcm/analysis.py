@@ -8,7 +8,6 @@ supercomputer for climate research" exists to produce.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 

@@ -121,6 +121,14 @@ class DESCoupledModel(CoupledModel):
     cluster's NIUs — optionally through the reliable-delivery layer, so
     the coupling survives injected fabric faults bit-exactly.  The DES
     virtual time spent on the wire accumulates in :attr:`des_elapsed`.
+
+    With ``recovery`` set (a :class:`repro.recover.RecoveryConfig`) the
+    run becomes *self-healing*: heartbeat failure detection runs on the
+    cluster, coordinated checkpoints are taken every
+    ``checkpoint_interval`` coupling windows, and a mid-run node crash
+    rolls back to the last checkpoint, remaps the dead node's ranks
+    onto a spare (``HyadesConfig.n_spares``) and recomputes — finishing
+    bit-exact with a fault-free run.
     """
 
     def __init__(
@@ -131,17 +139,45 @@ class DESCoupledModel(CoupledModel):
         params: Optional[CouplerParams] = None,
         reliable: bool = True,
         reliable_params: Optional[dict] = None,
+        recovery=None,
     ) -> None:
         from repro.parallel.des_spmd import DESExchanger
 
         self.cluster = cluster
         self.des_elapsed = 0.0
+        self.recovery = None
+        self._windows_done = 0
+        if recovery is not None:
+            from repro.recover import RecoveryManager
+
+            if not reliable:
+                raise ValueError("crash recovery requires reliable=True")
+            if atmosphere.decomp.n_ranks != ocean.decomp.n_ranks:
+                raise ValueError(
+                    "crash recovery assumes the isomorphs share one rank set"
+                )
+            self.recovery = RecoveryManager(
+                cluster,
+                atmosphere.decomp.n_ranks,
+                config=recovery,
+                reliable_params=reliable_params,
+            )
         self._des_atm = DESExchanger(
-            cluster, atmosphere.decomp, reliable=reliable, reliable_params=reliable_params
+            cluster,
+            atmosphere.decomp,
+            reliable=reliable,
+            reliable_params=reliable_params,
+            recovery=self.recovery,
         )
         self._des_ocn = DESExchanger(
-            cluster, ocean.decomp, reliable=reliable, reliable_params=reliable_params
+            cluster,
+            ocean.decomp,
+            reliable=reliable,
+            reliable_params=reliable_params,
+            recovery=self.recovery,
         )
+        if self.recovery is not None:
+            self.recovery.arm()
         super().__init__(atmosphere, ocean, params)
 
     def exchange_boundary_conditions(self) -> None:
@@ -166,6 +202,57 @@ class DESCoupledModel(CoupledModel):
             self.des_elapsed += self._des_ocn.exchange(tiles)
             self.ocean.coupling[name] = tiles
         self.couplings += 1
+
+    # -- self-healing run loop -------------------------------------------
+
+    def run(self, n_windows: int) -> None:
+        """Advance ``n_windows`` coupling windows.
+
+        Without recovery this is the plain loop.  With recovery armed,
+        the loop coordinates checkpoints every K windows and treats a
+        :class:`~repro.recover.NodeFailure` as a rollback: recover (fence
+        + remap + restore), rewind the window counter to the restored
+        checkpoint, and recompute forward.  Overlapping failures that
+        exhaust the spare pool escape as
+        :class:`~repro.recover.UnrecoverableError`.
+        """
+        mgr = self.recovery
+        if mgr is None:
+            super().run(n_windows)
+            return
+        from repro.recover import NodeFailure
+
+        models = {"atm": self.atmosphere, "ocn": self.ocean}
+        target = self._windows_done + n_windows
+        interval = mgr.config.checkpoint_interval
+        while self._windows_done < target:
+            try:
+                if not mgr.checkpoint_log:
+                    # first committed checkpoint: the rollback floor
+                    mgr.checkpoint(models, self._windows_done)
+                self.step_coupled()
+                self._windows_done += 1
+                if (
+                    self._windows_done % interval == 0
+                    and self._windows_done < target
+                ):
+                    mgr.checkpoint(models, self._windows_done)
+            except NodeFailure as failure:
+                # A further death during the restore phase surfaces as a
+                # fresh NodeFailure; keep recovering until the cluster is
+                # stable (or UnrecoverableError ends the run).
+                while True:
+                    try:
+                        self._windows_done = mgr.recover(models, failure)
+                        break
+                    except NodeFailure as again:
+                        failure = again
+
+    def recovery_report(self) -> dict:
+        """Measured recovery overheads (empty without recovery)."""
+        if self.recovery is None:
+            return {}
+        return self.recovery.overhead_report()
 
     def reliability_stats(self) -> dict:
         """Aggregated reliable-layer counters for both isomorphs."""

@@ -136,7 +136,9 @@ class Grid:
 
             shape = t.shape2d
             ones = np.ones(shape)
-            col = lambda v: np.broadcast_to(v[:, None], shape).copy()
+
+            def col(v):
+                return np.broadcast_to(v[:, None], shape).copy()
 
             self.lat_c.append(col(lat_c))
             self.dxc.append(col(a * np.cos(phi_c) * dlam))

@@ -17,8 +17,8 @@ the hydrostatic relation from ``k = 0`` downward in array space.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

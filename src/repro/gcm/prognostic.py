@@ -18,7 +18,6 @@ Time stepping is quasi-second-order Adams-Bashforth (the paper's
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 import numpy as np
 

@@ -11,7 +11,7 @@ extrapolation (Fig. 6: time levels n, n-1).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 

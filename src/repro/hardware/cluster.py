@@ -20,7 +20,13 @@ from repro.hardware.smp import SMPNode, SMPParams
 
 @dataclass(frozen=True)
 class HyadesConfig:
-    """Cluster shape and per-unit prices (1999 dollars)."""
+    """Cluster shape and per-unit prices (1999 dollars).
+
+    ``n_spares`` reserves the highest ``n_spares`` node ids as hot
+    spares: they are wired into the fabric and powered (they heartbeat
+    like any other node) but host no decomposition ranks until a crash
+    remaps a dead node's tiles onto one.
+    """
 
     n_nodes: int = 16
     smp: SMPParams = field(default_factory=SMPParams)
@@ -28,6 +34,24 @@ class HyadesConfig:
     fabric: FatTreeParams = field(default_factory=FatTreeParams)
     node_price_usd: float = 3_100.0
     interconnect_price_per_node_usd: float = 3_100.0
+    n_spares: int = 0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.n_spares < self.n_nodes):
+            raise ValueError(
+                f"n_spares must be in [0, n_nodes), got {self.n_spares} "
+                f"of {self.n_nodes} nodes"
+            )
+
+    @property
+    def spare_ids(self) -> tuple[int, ...]:
+        """Node ids reserved as hot spares (the highest ones)."""
+        return tuple(range(self.n_nodes - self.n_spares, self.n_nodes))
+
+    @property
+    def n_compute_nodes(self) -> int:
+        """Nodes available for decomposition ranks."""
+        return self.n_nodes - self.n_spares
 
     @property
     def total_cpus(self) -> int:
@@ -66,6 +90,11 @@ class HyadesCluster:
     def niu(self, nid: int) -> StarTX:
         """Node ``nid``'s StarT-X network interface."""
         return self.nodes[nid].niu
+
+    @property
+    def spare_ids(self) -> tuple[int, ...]:
+        """Node ids reserved as hot spares by the configuration."""
+        return self.config.spare_ids
 
     def run(self, until: Optional[float] = None) -> float:
         """Advance the discrete-event simulation."""

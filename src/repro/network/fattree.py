@@ -73,27 +73,33 @@ class FatTree:
 
         # routers[(l, p, j)]
         self.routers: dict[tuple[int, int, int], ArcticRouter] = {}
-        for l in range(1, self.levels + 1):
-            for p in range(self.n >> l):
-                for j in range(1 << (l - 1)):
-                    self.routers[(l, p, j)] = ArcticRouter(engine, name=f"R{l}.{p}.{j}")
+        for lvl in range(1, self.levels + 1):
+            for p in range(self.n >> lvl):
+                for j in range(1 << (lvl - 1)):
+                    self.routers[(lvl, p, j)] = ArcticRouter(
+                        engine, name=f"R{lvl}.{p}.{j}"
+                    )
 
         self._endpoint_sinks: list[Optional[Callable[[Packet], None]]] = [None] * self.n
         self._endpoint_dead: list[bool] = [False] * self.n
         self.blackholed_packets = 0
+        #: Called with the endpoint id whenever :meth:`kill_endpoint`
+        #: fires (crash-recovery runtimes subscribe here).
+        self.crash_listeners: list[Callable[[int], None]] = []
 
         # Wire links.  up_links[(l,p,j)][u] and down_links[(l,p,j)][c].
         self.up_links: dict[tuple[int, int, int], list[Link]] = {}
         self.down_links: dict[tuple[int, int, int], list[Link]] = {}
         self.inject_links: list[Link] = []
 
-        mk = lambda sink, name: Link(
-            engine,
-            sink,
-            bandwidth=self.params.link_bandwidth,
-            stage_latency=self.params.stage_latency,
-            name=name,
-        )
+        def mk(sink, name):
+            return Link(
+                engine,
+                sink,
+                bandwidth=self.params.link_bandwidth,
+                stage_latency=self.params.stage_latency,
+                name=name,
+            )
 
         for key, router in self.routers.items():
             l, p, j = key
@@ -230,9 +236,23 @@ class FatTree:
 
     def kill_endpoint(self, ep: int) -> None:
         """Crash endpoint ``ep``: it stops sending (injection link down
-        forever) and arriving packets are blackholed."""
+        forever) and arriving packets are blackholed.
+
+        The death is recorded on the engine (so the deadlock watchdog
+        can name crashed nodes) and every registered crash listener is
+        notified at the instant of death.
+        """
+        if self._endpoint_dead[ep]:
+            return
         self._endpoint_dead[ep] = True
         self.inject_links[ep].stall(float("inf"))
+        self.engine.crashed_nodes[ep] = self.engine.now
+        for listener in list(self.crash_listeners):
+            listener(ep)
+
+    def endpoint_dead(self, ep: int) -> bool:
+        """True when endpoint ``ep`` has been crashed."""
+        return self._endpoint_dead[ep]
 
     def fault_counters(self) -> dict:
         """Aggregate fault/error counters across the whole fabric."""

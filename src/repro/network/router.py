@@ -18,7 +18,7 @@ tail, so end-to-end latency is ``hops * stage + wire_bytes / bandwidth``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.sim import Engine, PriorityStore

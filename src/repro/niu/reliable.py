@@ -43,8 +43,9 @@ TAG_RDATA = 0x7FC
 TAG_RACK = 0x7FB
 TAG_RNACK = 0x7FA
 
-#: Framing words per DATA fragment: seq, chan|tag, msgid, offset, total, frag.
-_HEADER_WORDS = 6
+#: Framing words per DATA fragment:
+#: seq, chan|tag, msgid, offset, total, frag, epoch.
+_HEADER_WORDS = 7
 #: Payload bytes per DATA fragment (the rest of the 22-word packet).
 FRAG_BYTES = (MAX_PAYLOAD_WORDS - _HEADER_WORDS) * WORD_BYTES
 
@@ -156,6 +157,12 @@ class ReliableNIU:
         self._rx: Dict[int, _RxFlow] = {}
         self._partial: Dict[Tuple[int, int], _Reassembly] = {}
         self._channels: Dict[int, Store] = {}
+        #: Incarnation number: every frame and control packet carries
+        #: it, and traffic from a different epoch is dropped on receive.
+        #: :meth:`fence` bumps it across a whole cluster after a crash,
+        #: so stale retransmissions from an aborted round (or from a dead
+        #: node's old incarnation) can never corrupt the restarted run.
+        self.epoch = 0
         # counters (exposed via stats())
         self.data_packets_sent = 0
         self.data_packets_received = 0
@@ -167,6 +174,8 @@ class ReliableNIU:
         self.duplicates_dropped = 0
         self.out_of_order_dropped = 0
         self.messages_delivered = 0
+        self.stale_epoch_dropped = 0
+        self.fences = 0
         niu.rx_hook = self._on_rx
 
     # -- flow bookkeeping ----------------------------------------------
@@ -205,14 +214,23 @@ class ReliableNIU:
 
     def _on_rx(self, pkt: Packet) -> bool:
         if pkt.tag == TAG_RACK:
+            if pkt.payload_words[1] != self.epoch:
+                self.stale_epoch_dropped += 1
+                return True
             self.acks_received += 1
             self._handle_ack(pkt.src, pkt.payload_words[0])
             return True
         if pkt.tag == TAG_RNACK:
+            if pkt.payload_words[1] != self.epoch:
+                self.stale_epoch_dropped += 1
+                return True
             self.nacks_received += 1
             self._handle_nack(pkt.src, pkt.payload_words[0])
             return True
         if pkt.tag == TAG_RDATA:
+            if pkt.payload_words[6] != self.epoch:
+                self.stale_epoch_dropped += 1
+                return True
             self.data_packets_received += 1
             self._handle_data(pkt)
             return True
@@ -255,7 +273,15 @@ class ReliableNIU:
                 self._send_control(pkt.src, TAG_RNACK, flow.expected)
 
     def _accept_fragment(self, pkt: Packet) -> None:
-        _seq, chan_tag, msgid, offset, total, nfrag = pkt.payload_words[:_HEADER_WORDS]
+        (
+            _seq,
+            chan_tag,
+            msgid,
+            offset,
+            total,
+            nfrag,
+            _epoch,
+        ) = pkt.payload_words[:_HEADER_WORDS]
         key = (pkt.src, msgid)
         asm = self._partial.get(key)
         if asm is None:
@@ -283,10 +309,11 @@ class ReliableNIU:
             self.acks_sent += 1
         else:
             self.nacks_sent += 1
+        epoch = self.epoch  # stamp the epoch at the moment of the ack
 
         def ctrl():
             yield from self.niu.pio_send(
-                dst, [value, 0], tag=tag, priority=Priority.HIGH
+                dst, [value, epoch], tag=tag, priority=Priority.HIGH
             )
 
         self.engine.process(
@@ -318,7 +345,15 @@ class ReliableNIU:
                 while len(flow.unacked) >= self.window:
                     yield from self._await_progress(flow)
                 chunk = data[offset : offset + FRAG_BYTES]
-                words = [flow.next_seq, chan_tag, msgid, offset, total, len(chunk)]
+                words = [
+                    flow.next_seq,
+                    chan_tag,
+                    msgid,
+                    offset,
+                    total,
+                    len(chunk),
+                    self.epoch,
+                ]
                 words += [0] * math.ceil(len(chunk) / WORD_BYTES)
                 entry = _TxEntry(seq=flow.next_seq, words=words, rider=bytes(chunk) or None)
                 flow.next_seq += 1
@@ -365,6 +400,36 @@ class ReliableNIU:
             self.retransmissions += 1
             yield from self._transmit(flow, entry)
 
+    # -- epoch fencing ---------------------------------------------------
+
+    def fence(self, epoch: int) -> None:
+        """Enter a new incarnation: discard every in-progress flow.
+
+        Called by the crash-recovery runtime on all surviving nodes (at
+        the same virtual instant) after a node failure is declared:
+
+        * transmit flows are dropped — unacked frames of the aborted
+          round will never be retried (their senders were interrupted);
+        * receive flows and partial reassemblies are dropped — the
+          restarted round begins at sequence 0 on every pair;
+        * delivered-but-unconsumed messages are purged from the channel
+          queues (blocked consumers stay subscribed);
+        * the epoch bumps, so any stale frame, retransmission, ACK or
+          NACK from the old incarnation still in flight is counted in
+          ``stale_epoch_dropped`` and ignored.
+        """
+        if epoch <= self.epoch:
+            raise ValueError(
+                f"fence epoch must increase: {epoch} <= current {self.epoch}"
+            )
+        self.epoch = epoch
+        self.fences += 1
+        self._tx.clear()
+        self._rx.clear()
+        self._partial.clear()
+        for store in self._channels.values():
+            store.clear()
+
     # -- receive API -----------------------------------------------------
 
     def recv(self, channel: int = 0):
@@ -392,6 +457,8 @@ class ReliableNIU:
             "duplicates_dropped": self.duplicates_dropped,
             "out_of_order_dropped": self.out_of_order_dropped,
             "messages_delivered": self.messages_delivered,
+            "stale_epoch_dropped": self.stale_epoch_dropped,
+            "fences": self.fences,
         }
 
 

@@ -26,7 +26,6 @@ from dataclasses import dataclass, field as dc_field
 from typing import Any, Callable, Dict, Optional
 
 from repro.sim import Engine, Signal, Store
-from repro.sim.process import BaseEvent
 from repro.network.fattree import FatTree
 from repro.network.packet import (
     MAX_PAYLOAD_WORDS,

@@ -136,21 +136,32 @@ class DESExchanger:
         decomp: Decomposition,
         reliable: bool = False,
         reliable_params: Optional[dict] = None,
+        recovery=None,
     ) -> None:
         if decomp.n_ranks > cluster.n_nodes:
             raise ValueError("decomposition needs more nodes than the cluster has")
+        if recovery is not None and not reliable:
+            raise ValueError(
+                "crash recovery requires reliable=True: raw VI transfers "
+                "cannot be epoch-fenced or re-routed to a spare node"
+            )
         self.cluster = cluster
         self.decomp = decomp
         self.engine = cluster.engine
         self.reliable = reliable
+        self._recovery = recovery
         self._round = 0
         # out-of-order barrier packets stashed per rank (raw mode)
         self._barrier_stash: List[list] = [[] for _ in range(decomp.n_ranks)]
         if reliable:
-            self._rnius = [
-                get_reliable(cluster.niu(r), **(reliable_params or {}))
-                for r in range(decomp.n_ranks)
-            ]
+            if decomp.n_ranks > 64:
+                raise ValueError(
+                    "reliable exchange supports at most 64 ranks (the "
+                    "sender rank rides in the upper 6 tag bits)"
+                )
+            self._reliable_params = dict(reliable_params or {})
+            for r in range(decomp.n_ranks):
+                get_reliable(cluster.niu(self._node_of(r)), **self._reliable_params)
             # distinct channel per exchanger: two exchangers sharing the
             # cluster (e.g. the two isomorphs of a coupled run) must not
             # consume each other's messages
@@ -159,50 +170,84 @@ class DESExchanger:
                 counter = itertools.count(1)
                 cluster._rel_channels = counter
             self._cid = next(counter)
-            # (src, tag) -> deque of payloads: a queue, not a single
-            # slot, so a fast rank's next-pass message cannot overwrite
-            # an unconsumed one under the same key
-            self._arrived: List[Dict[Tuple[int, int], deque]] = [
-                {} for _ in range(decomp.n_ranks)
-            ]
-            self._signals = [
-                Signal(self.engine, name=f"halo-arrivals[rank{r}]")
-                for r in range(decomp.n_ranks)
-            ]
-            self._consumers_started = [False] * decomp.n_ranks
+            # Arrivals are stashed per *node* and keyed by the full tag
+            # (which embeds the sending rank): after a crash remap two
+            # ranks may share one node, and a shared stash with
+            # sender-unique tags keeps their messages unambiguous.
+            # Deques, not single slots: a fast rank's next-pass message
+            # must not overwrite an unconsumed one under the same key.
+            self._arrived: Dict[int, Dict[int, deque]] = {}
+            self._signals: Dict[int, Signal] = {}
+            self._consumers_started: set = set()
         else:
             self._demux = _VIDemux.of(cluster)
+        if recovery is not None:
+            recovery.adopt(self)
+
+    # -- rank -> node placement -----------------------------------------
+
+    def _node_of(self, rank: int) -> int:
+        """The node hosting ``rank`` (identity without recovery)."""
+        if self._recovery is not None:
+            return self._recovery.rankmap.node_of(rank)
+        return rank
+
+    def _rniu(self, rank: int):
+        return get_reliable(self.cluster.niu(self._node_of(rank)))
 
     # -- reliable-mode plumbing ----------------------------------------
 
-    def _ensure_consumer(self, rank: int) -> None:
-        if self._consumers_started[rank]:
+    def _ensure_consumer(self, node: int) -> None:
+        if node in self._consumers_started:
             return
-        self._consumers_started[rank] = True
-        rniu = self._rnius[rank]
+        self._consumers_started.add(node)
+        self._arrived.setdefault(node, {})
+        self._signals.setdefault(
+            node, Signal(self.engine, name=f"halo-arrivals[node{node}]")
+        )
+        rniu = get_reliable(self.cluster.niu(node))
 
         def consumer():
             while True:
                 msg = yield from rniu.recv(channel=self._cid)
-                self._arrived[rank].setdefault((msg.src, msg.tag), deque()).append(
-                    msg.data
-                )
-                self._signals[rank].fire()
+                self._arrived[node].setdefault(msg.tag, deque()).append(msg.data)
+                self._signals[node].fire()
 
         self.engine.process(
-            consumer(), name=f"rel-consumer[rank{rank}.ch{self._cid}]", daemon=True
+            consumer(), name=f"rel-consumer[node{node}.ch{self._cid}]", daemon=True
         )
 
-    def _await_message(self, rank: int, src: int, tag: int):
-        """Process: block until reliable message (src, tag) has landed."""
-        stash = self._arrived[rank]
-        while not stash.get((src, tag)):
-            yield self._signals[rank].wait()
-        q = stash[(src, tag)]
+    def _await_message(self, rank: int, tag: int):
+        """Process: block until the reliable message ``tag`` (which
+        embeds its sending rank) lands at ``rank``'s node."""
+        node = self._node_of(rank)
+        stash = self._arrived[node]
+        while not stash.get(tag):
+            yield self._signals[node].wait()
+        q = stash[tag]
         data = q.popleft()
         if not q:
-            del stash[(src, tag)]
+            del stash[tag]
         return data
+
+    # -- recovery hooks --------------------------------------------------
+
+    def abort_round(self) -> None:
+        """Drop every stashed arrival of the aborted round (the crash
+        recovery path calls this right after epoch-fencing the layers)."""
+        for stash in self._arrived.values():
+            stash.clear()
+        for stash in self._barrier_stash:
+            stash.clear()
+
+    def rebind_rank(self, rank: int) -> None:
+        """Adopt ``rank``'s new placement after a crash remap: make sure
+        its (possibly brand-new spare) node has a consumer daemon."""
+        if not self.reliable:
+            return
+        node = self._node_of(rank)
+        get_reliable(self.cluster.niu(node), **self._reliable_params)
+        self._ensure_consumer(node)
 
     # -- the exchange ---------------------------------------------------
 
@@ -225,9 +270,20 @@ class DESExchanger:
         done = [False] * self.decomp.n_ranks
         proc = self._rank_proc_reliable if self.reliable else self._rank_proc_raw
 
+        procs = {}
         for r in range(self.decomp.n_ranks):
-            self.engine.process(proc(r, fields, w, done), name=f"rank{r}")
-        self.engine.run(watchdog=True)
+            procs[r] = self.engine.process(
+                proc(r, fields, w, done), name=f"rank{r}.node{self._node_of(r)}"
+            )
+        mgr = self._recovery
+        if mgr is None:
+            self.engine.run(watchdog=True)
+        else:
+            # Heartbeat daemons keep the event heap alive forever, so a
+            # recovery-armed exchange stops on its completion condition
+            # (or on a declared failure) rather than on quiescence.
+            mgr.watch(procs)
+            mgr.run_phase_guarded(done, label="DES exchange")
         if not all(done):
             stuck = [r for r, d in enumerate(done) if not d]
             raise RuntimeError(f"DES exchange failed on ranks {stuck}")
@@ -259,6 +315,12 @@ class DESExchanger:
     def _dir_tag(self, direction: str) -> int:
         return (self._round % 16) * 64 + _DIRECTIONS.index(direction)
 
+    def _rel_tag(self, src_rank: int, base: int) -> int:
+        """Reliable-mode tag: the sending rank rides in the upper 6 bits
+        so messages stay unambiguous when a remap puts two ranks on one
+        node (the base identifies round/direction/barrier-step)."""
+        return (src_rank << 10) | base
+
     def _rank_proc_raw(self, rank: int, fields, w: int, done):
         self._demux.ensure_server(rank)
         arr = fields[rank]
@@ -281,18 +343,21 @@ class DESExchanger:
         done[rank] = True
 
     def _rank_proc_reliable(self, rank: int, fields, w: int, done):
-        self._ensure_consumer(rank)
+        self._ensure_consumer(self._node_of(rank))
         arr = fields[rank]
-        rniu = self._rnius[rank]
+        rniu = self._rniu(rank)
         for pass_i, pass_dirs in enumerate((("west", "east"), ("south", "north"))):
             plan = self._pass_plan(rank, arr, pass_dirs, w)
             for d, nbr, raw in plan:
                 yield from rniu.send(
-                    nbr, tag=self._dir_tag(d), data=raw, channel=self._cid
+                    self._node_of(nbr),
+                    tag=self._rel_tag(rank, self._dir_tag(d)),
+                    data=raw,
+                    channel=self._cid,
                 )
             for d, nbr, _raw in plan:
                 raw = yield from self._await_message(
-                    rank, nbr, self._dir_tag(_OPPOSITE[d])
+                    rank, self._rel_tag(nbr, self._dir_tag(_OPPOSITE[d]))
                 )
                 self._fill_halo(rank, arr, d, w, raw)
             yield from self._barrier_round_reliable(rank, pass_i)
@@ -340,15 +405,17 @@ class DESExchanger:
         n = self.decomp.n_ranks
         if n == 1:
             return
-        rniu = self._rnius[rank]
+        rniu = self._rniu(rank)
         shift = 1
         round_i = 0
         while shift < n:
             to = (rank + shift) % n
             frm = (rank - shift) % n
-            tag = (self._round % 16) * 64 + 32 + pass_i * 8 + round_i
-            yield from rniu.send(to, tag=tag, channel=self._cid)
-            yield from self._await_message(rank, frm, tag)
+            base = (self._round % 16) * 64 + 32 + pass_i * 8 + round_i
+            yield from rniu.send(
+                self._node_of(to), tag=self._rel_tag(rank, base), channel=self._cid
+            )
+            yield from self._await_message(rank, self._rel_tag(frm, base))
             shift <<= 1
             round_i += 1
 
@@ -360,7 +427,8 @@ class DESExchanger:
         if not self.reliable:
             return {}
         totals: dict = {}
-        for rn in self._rnius:
+        layers = {self._rniu(r) for r in range(self.decomp.n_ranks)}
+        for rn in layers:
             for key, val in rn.stats().items():
                 totals[key] = totals.get(key, 0) + val
         return totals

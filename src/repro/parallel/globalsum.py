@@ -14,7 +14,7 @@ the property that makes parallel runs reproducible across layouts.
 from __future__ import annotations
 
 import math
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -24,13 +24,13 @@ implementations over user-level NICs worked):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.hardware.cluster import HyadesCluster
 from repro.network.packet import Packet, Priority
 from repro.niu.startx import VI_FRAG_BYTES
-from repro.sim import Signal, Store
+from repro.sim import Signal
 
 #: Software cost to traverse the MPI matching/progress engine, per
 #: message per side (mid-1990s MPICH-class stacks on 400 MHz CPUs).

@@ -18,7 +18,7 @@ hierarchical over the SMP masters (Sections 4.1-4.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np

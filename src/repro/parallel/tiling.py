@@ -205,3 +205,101 @@ class Decomposition:
     ) -> int:
         """Total bytes rank ``rank`` sends in a full exchange of one field."""
         return sum(self.edge_bytes(nz, width, itemsize, rank))
+
+
+class RankMap:
+    """Placement of decomposition ranks onto cluster nodes.
+
+    The decomposition is pure geometry — rank ``r`` always owns tile
+    ``r`` — but *which node runs rank r* may change over a run: when a
+    node crashes, its rank is remapped onto a hot-spare node, or (when
+    permitted) onto a surviving node that then hosts two ranks.  All
+    node-addressed communication goes through :meth:`node_of` so the
+    remap is one authoritative table.
+    """
+
+    def __init__(
+        self,
+        n_ranks: int,
+        spares: tuple[int, ...] = (),
+        allow_redistribute: bool = False,
+    ) -> None:
+        if n_ranks <= 0:
+            raise ValueError("need at least one rank")
+        overlap = set(range(n_ranks)) & set(spares)
+        if overlap:
+            raise ValueError(
+                f"spare nodes {sorted(overlap)} collide with the initial "
+                f"rank->node identity placement of {n_ranks} ranks"
+            )
+        if len(set(spares)) != len(spares):
+            raise ValueError("duplicate spare node ids")
+        self.n_ranks = n_ranks
+        self._node_of: list[int] = list(range(n_ranks))
+        self.spares: list[int] = list(spares)
+        self.allow_redistribute = allow_redistribute
+        #: Nodes removed from service (crashed), in death order.
+        self.retired: list[int] = []
+        #: Remap history: ``(rank, old_node, new_node)``.
+        self.remaps: list[tuple[int, int, int]] = []
+
+    def node_of(self, rank: int) -> int:
+        """The node currently hosting ``rank``."""
+        return self._node_of[rank]
+
+    def ranks_on(self, node: int) -> list[int]:
+        """All ranks currently hosted by ``node``."""
+        return [r for r, n in enumerate(self._node_of) if n == node]
+
+    def nodes(self) -> list[int]:
+        """Every node with a role: active hosts plus remaining spares."""
+        return sorted(set(self._node_of) | set(self.spares))
+
+    def is_identity(self) -> bool:
+        """True while no remap has happened."""
+        return self._node_of == list(range(self.n_ranks))
+
+    def retire_node(self, node: int) -> list[int]:
+        """Take ``node`` out of service; returns the ranks it hosted.
+
+        A dead spare is simply dropped from the pool.  The displaced
+        ranks must then be replaced via :meth:`remap_rank`.
+        """
+        if node in self.retired:
+            return []
+        self.retired.append(node)
+        if node in self.spares:
+            self.spares.remove(node)
+        return self.ranks_on(node)
+
+    def remap_rank(self, rank: int) -> int:
+        """Move ``rank`` onto a replacement node; returns the new node.
+
+        Prefers the next hot spare; with the pool empty and
+        ``allow_redistribute`` set, doubles the rank up on the surviving
+        node hosting the fewest ranks.  Raises :class:`LookupError` when
+        no replacement exists (callers turn this into a structured
+        ``UnrecoverableError``).
+        """
+        old = self._node_of[rank]
+        if old not in self.retired:
+            raise ValueError(f"rank {rank}'s node {old} is still in service")
+        if self.spares:
+            new = self.spares.pop(0)
+        elif self.allow_redistribute:
+            survivors = [
+                n
+                for n in set(self._node_of)
+                if n not in self.retired
+            ]
+            if not survivors:
+                raise LookupError("no surviving nodes to redistribute onto")
+            new = min(survivors, key=lambda n: (len(self.ranks_on(n)), n))
+        else:
+            raise LookupError(
+                f"no spare node available to replace rank {rank} "
+                f"(retired: {self.retired}, redistribution disabled)"
+            )
+        self._node_of[rank] = new
+        self.remaps.append((rank, old, new))
+        return new

@@ -1,0 +1,206 @@
+"""Coordinated, sharded checkpoints of a distributed coupled run.
+
+One coordinated checkpoint = one directory::
+
+    ckpt-w000004/
+        atm_rank000.npz ... atm_rank015.npz
+        ocn_rank000.npz ... ocn_rank015.npz
+        MANIFEST.json          <- written last; its presence = committed
+
+Each shard is the hardened per-rank format of
+:func:`repro.gcm.checkpoint.save_state_shard` (CRC-32 self-verifying,
+atomic tmp+rename).  The manifest names every shard with its checksum
+and byte size, and is itself written atomically — so a checkpoint is
+either *committed* (manifest present, every shard verifies) or it does
+not exist as far as recovery is concerned.  A crash mid-checkpoint
+leaves an uncommitted directory that :meth:`latest_good` skips; the
+previous committed checkpoint stays restorable.
+
+Because tiles are checkpointed at a coupling-window boundary (a global
+synchronization point in the coupled run), the shard set is a
+*consistent cut*: no message of the next window has been sent when the
+shards are captured, so restoring all shards and replaying forward is
+bit-exact.  The DES-time cost of writing/reading the shards and running
+the commit barrier is charged by the
+:class:`~repro.recover.manager.RecoveryManager`, not here — this module
+is the durable on-disk half.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.gcm.checkpoint import (
+    CheckpointError,
+    load_state_shard,
+    save_state_shard,
+)
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+
+@dataclass
+class CheckpointRecord:
+    """One coordinated checkpoint (committed once ``manifest`` exists)."""
+
+    window: int
+    directory: pathlib.Path
+    #: shard filename -> {"nbytes": int, "checksum": int}
+    shards: Dict[str, dict] = field(default_factory=dict)
+    committed: bool = False
+
+    def rank_nbytes(self, component: str, rank: int) -> int:
+        """On-disk bytes of one rank's shard (for DES disk costing)."""
+        return int(self.shards[_shard_name(component, rank)]["nbytes"])
+
+    def total_nbytes(self) -> int:
+        """Total on-disk bytes across every shard of this checkpoint."""
+        return sum(int(s["nbytes"]) for s in self.shards.values())
+
+
+def _shard_name(component: str, rank: int) -> str:
+    return f"{component}_rank{rank:03d}.npz"
+
+
+class CoordinatedCheckpointStore:
+    """Directory of coordinated checkpoints with two-phase commit.
+
+    The store separates *writing* (python-side durability) from
+    *committing* (the manifest append), mirroring the distributed
+    protocol the DES prices: ranks first write their shards, then a
+    commit barrier confirms every rank finished, then the coordinator
+    publishes the manifest.  If the run dies between write and commit,
+    the checkpoint never becomes visible.
+    """
+
+    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    # -- write side ------------------------------------------------------
+
+    def write_shards(self, models: Dict[str, object], window: int) -> CheckpointRecord:
+        """Write every rank's shard for every component; no commit yet.
+
+        ``models`` maps component name (e.g. ``"atm"``) to a model whose
+        state is at the window boundary.  Re-writing an uncommitted (or
+        even committed) window simply overwrites its shards.
+        """
+        ckpt_dir = self.directory / f"ckpt-w{window:06d}"
+        ckpt_dir.mkdir(parents=True, exist_ok=True)
+        stale = ckpt_dir / MANIFEST_NAME
+        if stale.exists():
+            stale.unlink()  # re-writing: invalidate until re-committed
+        record = CheckpointRecord(window=window, directory=ckpt_dir)
+        for comp, model in sorted(models.items()):
+            for rank in range(model.decomp.n_ranks):
+                name = _shard_name(comp, rank)
+                path, nbytes = save_state_shard(model, rank, ckpt_dir / name)
+                record.shards[name] = {"nbytes": nbytes}
+        return record
+
+    def commit(self, record: CheckpointRecord) -> pathlib.Path:
+        """Publish the manifest; the checkpoint becomes restorable."""
+        manifest = {
+            "manifest_version": MANIFEST_VERSION,
+            "window": record.window,
+            "shards": record.shards,
+        }
+        path = record.directory / MANIFEST_NAME
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(manifest, fh, indent=1, sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        finally:
+            if tmp.exists():
+                tmp.unlink()
+        record.committed = True
+        return path
+
+    # -- read side -------------------------------------------------------
+
+    def _load_record(self, ckpt_dir: pathlib.Path) -> CheckpointRecord:
+        path = ckpt_dir / MANIFEST_NAME
+        if not path.exists():
+            raise CheckpointError(f"{ckpt_dir} has no manifest (uncommitted)")
+        try:
+            with open(path, encoding="utf-8") as fh:
+                manifest = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"manifest {path} unreadable: {exc}") from exc
+        if manifest.get("manifest_version") != MANIFEST_VERSION:
+            raise CheckpointError(
+                f"manifest {path} has unsupported version "
+                f"{manifest.get('manifest_version')}"
+            )
+        record = CheckpointRecord(
+            window=int(manifest["window"]),
+            directory=ckpt_dir,
+            shards=dict(manifest["shards"]),
+            committed=True,
+        )
+        for name in record.shards:
+            if not (ckpt_dir / name).exists():
+                raise CheckpointError(f"manifest {path} names missing shard {name}")
+        return record
+
+    def latest_good(self) -> Optional[CheckpointRecord]:
+        """The newest *committed* checkpoint whose manifest verifies.
+
+        Uncommitted directories (crash mid-checkpoint) and unreadable
+        manifests are skipped — shard payloads themselves re-verify
+        their CRCs at :meth:`restore` time.
+        """
+        candidates = sorted(self.directory.glob("ckpt-w*"), reverse=True)
+        for ckpt_dir in candidates:
+            if not ckpt_dir.is_dir():
+                continue
+            try:
+                return self._load_record(ckpt_dir)
+            except CheckpointError:
+                continue
+        return None
+
+    def restore(self, models: Dict[str, object], record: CheckpointRecord) -> dict:
+        """Load every shard of ``record`` back into ``models``.
+
+        Every shard re-verifies its CRC on load; the shards' step
+        bookkeeping must agree across ranks (it was written at one
+        window boundary) and is applied to each model once.  Returns
+        ``{component: metadata}``.
+        """
+        out: dict = {}
+        for comp, model in sorted(models.items()):
+            metas = []
+            for rank in range(model.decomp.n_ranks):
+                name = _shard_name(comp, rank)
+                if name not in record.shards:
+                    raise CheckpointError(
+                        f"checkpoint w{record.window} lacks shard {name}"
+                    )
+                metas.append(
+                    load_state_shard(model, rank, record.directory / name)
+                )
+            first = metas[0]
+            for rank, meta in enumerate(metas):
+                if (
+                    meta["time"] != first["time"]
+                    or meta["step_count"] != first["step_count"]
+                ):
+                    raise CheckpointError(
+                        f"checkpoint w{record.window}: shard {comp}:{rank} "
+                        f"bookkeeping disagrees — not a consistent cut"
+                    )
+            model.state.time = first["time"]
+            model.state.step_count = first["step_count"]
+            model._first_step = first["first_step"]
+            out[comp] = first
+        return out

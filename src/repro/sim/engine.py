@@ -22,17 +22,57 @@ class DeadlockError(RuntimeError):
 
     ``blocked`` carries the stuck :class:`~repro.sim.process.Process`
     objects so callers can inspect which ranks hung and on what queue.
+    ``crashed`` maps crashed node ids to their death times: queues that
+    belong to a crashed node are annotated in the message, so a crash
+    without recovery enabled reads as a crash, not as a protocol bug.
     """
 
-    def __init__(self, blocked: list) -> None:
+    def __init__(self, blocked: list, crashed: Optional[dict] = None) -> None:
         self.blocked = list(blocked)
-        detail = "; ".join(
-            f"{p.name} waiting on {p.waiting_desc()}" for p in self.blocked
-        )
-        super().__init__(
+        self.crashed = dict(crashed or {})
+        details = []
+        for p in self.blocked:
+            desc = f"{p.name} waiting on {p.waiting_desc()}"
+            dead = self._crashed_nodes_of(p)
+            if dead:
+                owners = ", ".join(
+                    f"node {n} (crashed at t={self.crashed[n]:.6g} s)"
+                    for n in dead
+                )
+                desc += f" [queue belongs to {owners}]"
+            details.append(desc)
+        msg = (
             f"simulation quiescent with {len(self.blocked)} blocked "
-            f"process(es): {detail}"
+            f"process(es): {'; '.join(details)}"
         )
+        if self.crashed:
+            nodes = ", ".join(str(n) for n in sorted(self.crashed))
+            msg += (
+                f". Node(s) {nodes} crashed during this run: the blocked "
+                "queues above that belong to crashed nodes indicate an "
+                "unrecovered node failure, not a communication-protocol "
+                "bug; enable crash recovery to survive it."
+            )
+        super().__init__(msg)
+
+    def _crashed_nodes_of(self, proc) -> list:
+        """Crashed node ids referenced by a blocked process's name or by
+        the queue it waits on (``nodeN``/``rankN`` naming convention)."""
+        text = f"{proc.name} {proc.waiting_desc()}"
+        hits = []
+        for n in sorted(self.crashed):
+            for token in (f"node{n}", f"rank{n}"):
+                # avoid matching e.g. "node1" inside "node12"
+                idx = text.find(token)
+                while idx != -1:
+                    end = idx + len(token)
+                    if end == len(text) or not text[end].isdigit():
+                        hits.append(n)
+                        break
+                    idx = text.find(token, end)
+                if hits and hits[-1] == n:
+                    break
+        return hits
 
 
 class Interrupt(Exception):
@@ -61,6 +101,10 @@ class Engine:
         self._seq = itertools.count()
         self._nevents = 0
         self._processes: list = []  # every Process ever registered (pruned lazily)
+        #: Crashed node ids -> virtual death time, maintained by the
+        #: fabric's ``kill_endpoint``; the watchdog uses it to tell a
+        #: dead-node stall apart from a protocol deadlock.
+        self.crashed_nodes: dict[int, float] = {}
 
     @property
     def now(self) -> float:
@@ -120,6 +164,7 @@ class Engine:
         until: Optional[float] = None,
         max_events: Optional[int] = None,
         watchdog: bool = False,
+        stop_when: Optional[Callable[[], bool]] = None,
     ) -> float:
         """Dispatch events until the heap drains, ``until`` passes, or
         ``max_events`` have run.  Returns the final virtual time.
@@ -128,9 +173,18 @@ class Engine:
         quiescence: if the heap drained while non-daemon processes are
         still blocked on waitables, it raises :class:`DeadlockError`
         naming the stuck processes and the queues they wait on.
+
+        ``stop_when`` is a predicate checked between events: the engine
+        returns as soon as it is true, leaving pending events in the
+        heap.  Perpetual service traffic (heartbeat beacons, failure
+        detectors) keeps the heap non-empty forever, so phases that run
+        on such a cluster must bound themselves by completion condition
+        rather than by quiescence.
         """
         hit_cap = False
         while self._heap:
+            if stop_when is not None and stop_when():
+                return self._now
             when, _seq, fn = self._heap[0]
             if until is not None and when > until:
                 self._now = until
@@ -143,9 +197,10 @@ class Engine:
                 hit_cap = True
                 break
         if watchdog and not self._heap and not hit_cap:
-            blocked = self.blocked_processes()
-            if blocked:
-                raise DeadlockError(blocked)
+            if not (stop_when is not None and stop_when()):
+                blocked = self.blocked_processes()
+                if blocked:
+                    raise DeadlockError(blocked, crashed=self.crashed_nodes)
         if until is not None and self._now < until:
             self._now = until
         return self._now

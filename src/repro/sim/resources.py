@@ -80,6 +80,17 @@ class Store:
             return True, self._take()
         return False, None
 
+    def clear(self) -> int:
+        """Discard all queued items (blocked getters stay subscribed).
+
+        Used by epoch fencing: delivered-but-unconsumed items from an
+        aborted round are purged without disturbing consumer processes
+        already waiting on the queue.  Returns the number discarded.
+        """
+        n = len(self._items)
+        self._items.clear()
+        return n
+
     def _take(self) -> Any:
         item = self._items.popleft()
         if self._putters:
@@ -149,6 +160,12 @@ class PriorityStore(Store):
         if self._heap:
             return True, self._take()
         return False, None
+
+    def clear(self) -> int:
+        """Discard all queued items (blocked getters stay subscribed)."""
+        n = len(self._heap)
+        self._heap.clear()
+        return n
 
     def _take(self) -> Any:
         _prio, _seq, item = heapq.heappop(self._heap)

@@ -92,7 +92,7 @@ def profile_bars(
     scale = float(np.abs(vals).max()) or 1.0
     lines = [title] if title else []
     labels = list(labels) if labels is not None else [f"{i}" for i in range(len(vals))]
-    lab_w = max(len(str(l)) for l in labels)
+    lab_w = max(len(str(lab)) for lab in labels)
     for lab, v in zip(labels, vals):
         n = int(abs(v) / scale * width)
         bar = ("+" if v >= 0 else "-") * n

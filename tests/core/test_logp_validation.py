@@ -3,7 +3,7 @@ validation harness and the Fig. 10 sustained table."""
 
 import pytest
 
-from repro.core.constants import FIG2_PAPER, VALIDATION
+from repro.core.constants import FIG2_PAPER
 from repro.core.logp import analytic_logp, fig2_table, measure_logp
 from repro.core.sustained import fig10_table, hyades_sustained
 from repro.core.validation import observed_from_simulation, section53_validation

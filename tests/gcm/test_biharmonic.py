@@ -1,7 +1,6 @@
 """Tests for the biharmonic (scale-selective) viscosity option."""
 
 import numpy as np
-import pytest
 
 from repro.gcm import operators as op
 from repro.gcm.grid import Grid, GridParams

@@ -2,7 +2,6 @@
 archives, and resume-from-latest-good after corruption."""
 
 import os
-import zipfile
 
 import numpy as np
 import pytest

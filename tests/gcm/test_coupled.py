@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.gcm import diagnostics as diag
-from repro.gcm.coupled import CoupledModel, CouplerParams, coupled_model
+from repro.gcm.coupled import CoupledModel, coupled_model
 
 
 @pytest.fixture(scope="module")

@@ -9,7 +9,7 @@ from repro.gcm.grid import Grid, GridParams
 from repro.gcm.nonhydrostatic import NonHydrostaticOperator, divergence3
 from repro.gcm.ocean import ocean_model
 from repro.gcm.operators import FlopCounter
-from repro.parallel.exchange import HaloExchanger, exchange_halos
+from repro.parallel.exchange import exchange_halos
 from repro.parallel.tiling import Decomposition
 
 

@@ -56,10 +56,13 @@ class TestOperator:
         ax = ell.apply(x, fc)
         ay = ell.apply(y, fc)
         o = g.decomp.olx
-        dot = lambda a, b: sum(
-            float(np.sum(a[r][t.interior] * b[r][t.interior]))
-            for r, t in enumerate(g.decomp.tiles)
-        )
+
+        def dot(a, b):
+            return sum(
+                float(np.sum(a[r][t.interior] * b[r][t.interior]))
+                for r, t in enumerate(g.decomp.tiles)
+            )
+
         assert dot(x, ay) == pytest.approx(dot(ax, y), rel=1e-10)
 
     def test_negative_semidefinite(self):
@@ -113,8 +116,6 @@ class TestCGSolver:
 
     def test_matches_scipy_direct_solve(self):
         """Assemble the dense matrix on a tiny grid; compare solutions."""
-        import scipy.sparse as sp
-        import scipy.sparse.linalg as spla
 
         g, ell = setup(nx=8, ny=4, px=1, py=1)
         fc = FlopCounter()

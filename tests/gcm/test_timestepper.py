@@ -6,8 +6,6 @@ import pytest
 from repro.gcm import diagnostics as diag
 from repro.gcm.atmosphere import atmosphere_model
 from repro.gcm.ocean import ocean_model
-from repro.gcm.timestepper import Model, ModelConfig
-from repro.gcm.grid import GridParams
 from repro.gcm.topography import double_basin
 
 

@@ -9,7 +9,6 @@ from hypothesis import strategies as st
 from repro.network.costmodel import (
     ARCTIC_GSUM_MEASURED,
     ARCTIC_GSUM_SMP_MEASURED,
-    CommCostModel,
     arctic_cost_model,
     fast_ethernet_cost_model,
     gigabit_ethernet_cost_model,

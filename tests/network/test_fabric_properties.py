@@ -1,12 +1,11 @@
 """Property-based stress tests of the fabric: conservation under load."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.network.fattree import FatTree, FatTreeParams
-from repro.network.packet import Packet, Priority
+from repro.network.packet import Packet
 from repro.sim import Engine
 
 
@@ -104,10 +103,10 @@ def test_property_link_byte_accounting_balances(seed):
     ]
     ft, inbox, sent = run_traffic(16, flows, seed=seed)
     total_link_bytes = sum(
-        l.stats.bytes
+        link.stats.bytes
         for links in list(ft.up_links.values()) + list(ft.down_links.values())
-        for l in links
-    ) + sum(l.stats.bytes for l in ft.inject_links)
+        for link in links
+    ) + sum(link.stats.bytes for link in ft.inject_links)
     expected = 0
     for dst, packets in inbox.items():
         for p in packets:

@@ -29,8 +29,8 @@ def test_invalid_sizes_rejected():
 def test_router_count_per_level():
     _, ft, _ = build(16)
     assert ft.levels == 4
-    for l in range(1, 5):
-        count = sum(1 for (ll, _, _) in ft.routers if ll == l)
+    for lvl in range(1, 5):
+        count = sum(1 for (ll, _, _) in ft.routers if ll == lvl)
         assert count == 8  # N/2 routers per level
 
 

@@ -1,7 +1,6 @@
 """The seeded fault-injection harness: deterministic plans, faults
 observable through the existing CRC machinery and per-link counters."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -54,7 +53,7 @@ class TestPlanValidation:
     def test_inactive_plan_installs_no_hooks(self):
         _, ft, _, inj = build(plan=FaultPlan(seed=1))
         assert inj.hooked_links == []
-        assert all(l.fault_hook is None for l in ft.iter_links())
+        assert all(lk.fault_hook is None for lk in ft.iter_links())
 
 
 class TestDeterminism:
@@ -103,7 +102,10 @@ class TestInjectedCorruption:
         blast(ft, n_pkts=300)
         eng.run()
         assert inj.injected_corruptions > 0
-        assert sum(l.stats.corrupted for l in ft.iter_links()) == inj.injected_corruptions
+        assert (
+            sum(lk.stats.corrupted for lk in ft.iter_links())
+            == inj.injected_corruptions
+        )
         # corruption on an inner link is dropped by the next router's CRC
         # check; corruption on the final down-link reaches the endpoint,
         # where the NIU's status bit catches it (every arrival here fails

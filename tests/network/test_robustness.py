@@ -7,14 +7,13 @@ network endpoints using CRC.  The software layer only has to check a
 1-bit status to detect the unlikely event of a corrupted message."
 """
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.hardware.cluster import HyadesCluster
 from repro.network.fattree import FatTree
-from repro.network.packet import Packet, Priority
+from repro.network.packet import Packet
 from repro.sim import Engine
 
 

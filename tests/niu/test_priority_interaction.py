@@ -6,7 +6,6 @@ others stream."""
 import pytest
 
 from repro.hardware.cluster import HyadesCluster
-from repro.network.packet import Priority
 
 
 def test_negotiation_overtakes_bulk_data():

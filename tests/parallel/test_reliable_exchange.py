@@ -71,6 +71,23 @@ class TestReliableExchange:
         for a, b in zip(tiles, ref):
             np.testing.assert_array_equal(a, b)
 
+    @pytest.mark.parametrize("seed", [3, 11, 17, 41, 59])
+    def test_random_fault_plans_bit_exact(self, seed):
+        """Seed-derived random drop/corrupt rates: every plan must still
+        deliver bit-exact halos across repeated exchanges."""
+        rng = np.random.default_rng(seed)
+        plan = FaultPlan(
+            seed=seed,
+            drop_prob=float(rng.uniform(0.005, 0.08)),
+            corrupt_prob=float(rng.uniform(0.0, 0.02)),
+        )
+        cluster, decomp, tiles, ref, _ = setup(plan=plan, seed=seed)
+        ex = DESExchanger(cluster, decomp, reliable=True)
+        for _ in range(2):
+            ex.exchange(tiles)
+        for a, b in zip(tiles, ref):
+            np.testing.assert_array_equal(a, b)
+
     def test_retry_exhaustion_surfaces_delivery_error(self):
         plan = FaultPlan(
             seed=0, link_overrides={"niu0^": LinkFaultModel(drop_prob=1.0)}

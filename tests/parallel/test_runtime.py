@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.network.costmodel import arctic_cost_model
 from repro.parallel.runtime import LockstepRuntime, MachineModel
 from repro.parallel.tiling import Decomposition
 

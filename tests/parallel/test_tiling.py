@@ -1,6 +1,5 @@
 """Tests for the tiled domain decomposition (Fig. 5)."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st

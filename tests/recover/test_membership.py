@@ -1,0 +1,94 @@
+"""Heartbeat failure detection: timing bounds, idempotence, fail-stop."""
+
+import pytest
+
+from repro.hardware.cluster import HyadesCluster, HyadesConfig
+from repro.recover import HeartbeatConfig, Membership
+from repro.recover.membership import HeartbeatService
+
+
+def make_service(n_nodes=4, config=None):
+    cluster = HyadesCluster(HyadesConfig(n_nodes=n_nodes))
+    membership = Membership(list(range(n_nodes)))
+    cluster.fabric.crash_listeners.append(
+        lambda node: membership.mark_crashed(node, cluster.engine.now)
+    )
+    service = HeartbeatService(cluster, membership, config)
+    return cluster, membership, service
+
+
+class TestHeartbeatConfig:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError, match="period"):
+            HeartbeatConfig(period=0.0)
+
+    def test_rejects_timeout_below_twice_period(self):
+        with pytest.raises(ValueError, match="twice the period"):
+            HeartbeatConfig(period=50e-6, timeout=80e-6)
+
+
+class TestDetector:
+    def test_quiet_cluster_declares_nobody(self):
+        cluster, membership, service = make_service()
+        service.arm()
+        cluster.engine.run(until=2e-3)
+        assert membership.dead == {}
+        assert service.beacons_sent > 0
+        assert service.beacons_heard > 0
+
+    def test_crash_declared_within_latency_bound(self):
+        """A silent node is declared within timeout + period (+ the
+        deterministic detector stagger)."""
+        cluster, membership, service = make_service()
+        engine = cluster.engine
+        cfg = service.config
+        crash_at = 1.1e-3
+
+        def killer():
+            yield engine.timeout(crash_at)
+            cluster.fabric.kill_endpoint(2)
+
+        engine.process(killer(), name="killer", daemon=True)
+        service.arm()
+        engine.run(until=crash_at + 5 * cfg.timeout, stop_when=lambda: 2 in membership.dead)
+        assert 2 in membership.dead
+        record = membership.dead[2]
+        latency = record.declared_at - crash_at
+        assert 0 < latency <= cfg.timeout + 2 * cfg.period
+        assert record.crashed_at == pytest.approx(crash_at)
+        assert record.declared_by != 2
+
+    def test_declaration_is_idempotent_and_notifies_once(self):
+        cluster, membership, service = make_service()
+        seen = []
+        membership.on_declared.append(seen.append)
+        engine = cluster.engine
+
+        def killer():
+            yield engine.timeout(0.5e-3)
+            cluster.fabric.kill_endpoint(1)
+
+        engine.process(killer(), name="killer", daemon=True)
+        service.arm()
+        # Run well past declaration: every node's detector times node 1
+        # out, but only the first declaration counts.
+        engine.run(until=3e-3)
+        assert [r.node for r in seen] == [1]
+        assert membership.declare_dead(1, by=0, when=engine.now, reason="again") is None
+        assert [r.node for r in seen] == [1]
+
+    def test_dead_node_falls_silent(self):
+        """Fail-stop: after the crash the dead node sends no beacons."""
+        cluster, membership, service = make_service()
+        engine = cluster.engine
+
+        def killer():
+            yield engine.timeout(0.5e-3)
+            cluster.fabric.kill_endpoint(3)
+
+        engine.process(killer(), name="killer", daemon=True)
+        service.arm()
+        engine.run(until=2e-3)
+        # Survivors never hear node 3 after its death.
+        for observer in (0, 1, 2):
+            assert service.last_seen[observer].get(3, 0.0) <= 0.5e-3

@@ -94,6 +94,38 @@ class TestWatchdog:
         eng.process(sleeper(), name="s")
         eng.run(until=1.0, watchdog=True)  # no raise
 
+    def test_crashed_node_queue_is_annotated(self):
+        """A stall on a dead node's queue must read as an unrecovered
+        crash, not as a communication-protocol bug."""
+        eng = Engine()
+        store = Store(eng, name="pio-rx[node1]")
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="rank0.node0")
+        eng.crashed_nodes[1] = 0.5
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(watchdog=True)
+        msg = str(ei.value)
+        assert "node 1 (crashed at t=0.5 s)" in msg
+        assert "enable crash recovery" in msg
+        assert ei.value.crashed == {1: 0.5}
+
+    def test_crash_annotation_does_not_match_longer_ids(self):
+        """node1 must not be blamed for a stall on node12's queue."""
+        eng = Engine()
+        store = Store(eng, name="pio-rx[node12]")
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="rank12.node12")
+        eng.crashed_nodes[1] = 0.5
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(watchdog=True)
+        assert "queue belongs to" not in str(ei.value)
+
     def test_unblocked_after_fire_not_reported(self):
         eng = Engine()
         sig = Signal(eng, name="go")

@@ -15,7 +15,7 @@ class TestAsciiMap:
         lines = out.splitlines()
         assert lines[0].startswith("T")
         assert len(lines) == 4
-        assert all(len(l) == 4 for l in lines[1:])
+        assert all(len(line) == 4 for line in lines[1:])
 
     def test_north_up_puts_last_row_first(self):
         f = np.zeros((2, 3))
@@ -43,9 +43,9 @@ class TestAsciiMap:
         f = rng.standard_normal((ny, nx))
         lines = ascii_map(f).splitlines()
         assert len(lines) == ny
-        for l in lines:
-            assert len(l) == nx
-            assert set(l) <= set(RAMP)
+        for line in lines:
+            assert len(line) == nx
+            assert set(line) <= set(RAMP)
 
 
 class TestAnomalyMap:
