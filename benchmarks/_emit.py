@@ -1,0 +1,39 @@
+"""Machine-readable benchmark records for the harness.
+
+Thin binding of the schema'd emitter in :mod:`repro.obs.bench` to this
+harness's ``benchmarks/out/`` directory: every converted benchmark calls
+:func:`emit_bench` once and leaves a ``BENCH_<name>.json`` that
+validates against :data:`repro.obs.schema.BENCH_SCHEMA` — uniform
+``wall_clock_s`` / ``virtual_time_s`` / ``model_error`` fields plus a
+free-form ``data`` payload.  CI uploads these files as artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Optional
+
+from repro.obs.bench import write_bench
+
+from _tables import OUT_DIR
+
+
+def emit_bench(
+    name: str,
+    *,
+    wall_clock_s: float,
+    virtual_time_s: Optional[float] = None,
+    model_error: Optional[dict] = None,
+    data: Optional[dict] = None,
+    units: Optional[dict] = None,
+) -> pathlib.Path:
+    """Write ``benchmarks/out/BENCH_<name>.json``; returns the path."""
+    return write_bench(
+        OUT_DIR,
+        name,
+        wall_clock_s=wall_clock_s,
+        virtual_time_s=virtual_time_s,
+        model_error=model_error,
+        data=data,
+        units=units,
+    )

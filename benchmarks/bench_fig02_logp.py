@@ -5,11 +5,14 @@ Regenerates the table (Os, Or, Tround-trip/2, Lnetwork for 8-byte and
 alongside the paper's measured values.
 """
 
+import time
+
 import pytest
 
 from repro.core.constants import FIG2_PAPER
 from repro.core.logp import fig2_table, measure_logp
 
+from _emit import emit_bench
 from _tables import emit, format_table, us
 
 
@@ -24,7 +27,9 @@ def test_bench_logp_ping_pong(benchmark, size):
 
 
 def test_bench_fig2_table(benchmark):
+    t0 = time.perf_counter()
     rows = benchmark(fig2_table, measured=True)
+    wall = time.perf_counter() - t0
     table_rows = []
     for r in rows:
         table_rows.append(
@@ -45,3 +50,19 @@ def test_bench_fig2_table(benchmark):
         ),
     )
     assert len(rows) == 2
+    emit_bench(
+        "fig02_logp",
+        wall_clock_s=wall,
+        virtual_time_s=max(r["half_rtt"] for r in rows),
+        model_error={
+            f"{q}_{r['payload_bytes']}B": r[q] / r[f"paper_{q}"] - 1.0
+            for r in rows
+            for q in ("os", "or", "half_rtt")
+        },
+        data={
+            f"{q}_{r['payload_bytes']}B_us": r[q] * 1e6
+            for r in rows
+            for q in ("os", "or", "half_rtt", "latency")
+        },
+        units={"virtual_time_s": "worst half round-trip, DES seconds"},
+    )

@@ -7,6 +7,7 @@ pattern (partial sums per round) on the wire.
 """
 
 import math
+import time
 
 import pytest
 
@@ -19,6 +20,7 @@ from repro.network.costmodel import (
 from repro.parallel.des_collectives import des_global_sum
 from repro.parallel.globalsum import butterfly_global_sum
 
+from _emit import emit_bench
 from _tables import emit, format_table, us
 
 
@@ -50,7 +52,9 @@ def test_bench_fig8_pattern(benchmark):
 
 
 def test_bench_gsum_table(benchmark):
+    t0 = time.perf_counter()
     des = benchmark(des_gsum_latencies)
+    wall = time.perf_counter() - t0
     model = arctic_cost_model()
     rows = []
     for n in (2, 4, 8, 16):
@@ -75,6 +79,17 @@ def test_bench_gsum_table(benchmark):
     )
     for n in (2, 4, 8, 16):
         assert des[n] == pytest.approx(ARCTIC_GSUM_MEASURED[n], rel=0.10)
+    emit_bench(
+        "fig08_globalsum",
+        wall_clock_s=wall,
+        virtual_time_s=des[16],
+        model_error={
+            f"gsum_{n}way_vs_paper": des[n] / ARCTIC_GSUM_MEASURED[n] - 1.0
+            for n in (2, 4, 8, 16)
+        },
+        data={f"gsum_{n}way_us": des[n] * 1e6 for n in (2, 4, 8, 16)},
+        units={"virtual_time_s": "16-way gsum, DES seconds"},
+    )
 
 
 def test_bench_message_count(benchmark):

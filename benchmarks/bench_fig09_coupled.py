@@ -8,6 +8,8 @@ the combined sustained rate scales toward the paper's 1.6-1.8 GFlop/s
 regime when extrapolated to the production configuration.
 """
 
+import time
+
 import numpy as np
 import pytest
 
@@ -16,6 +18,7 @@ from repro.core.perf_model import DSPhaseParams, PerformanceModel, PSPhaseParams
 from repro.gcm import diagnostics as diag
 from repro.gcm.coupled import coupled_model
 
+from _emit import emit_bench
 from _tables import emit, format_table
 
 
@@ -39,7 +42,9 @@ def production_combined_rate(ni=60.0):
 
 
 def test_bench_coupled_integration(benchmark):
+    t0 = time.perf_counter()
     cm = benchmark.pedantic(run_coupled, rounds=1, iterations=1)
+    wall = time.perf_counter() - t0
     atm, ocn = cm.atmosphere, cm.ocean
     assert diag.is_finite(atm) and diag.is_finite(ocn)
     sst = ocn.surface_temperature()
@@ -74,6 +79,21 @@ def test_bench_coupled_integration(benchmark):
     # the production-scale model extrapolation lands in/near the band
     assert combined_model_rate > 0.7 * COUPLED_SUSTAINED_RANGE[0]
     assert combined_model_rate < 1.2 * COUPLED_SUSTAINED_RANGE[1]
+    paper_mid = 0.5 * (COUPLED_SUSTAINED_RANGE[0] + COUPLED_SUSTAINED_RANGE[1])
+    emit_bench(
+        "fig09_coupled",
+        wall_clock_s=wall,
+        virtual_time_s=cm.elapsed,
+        model_error={
+            "production_combined_vs_paper_mid": combined_model_rate / paper_mid - 1.0
+        },
+        data={
+            "couplings": cm.couplings,
+            "reduced_sustained_mflops": cm.combined_sustained_flops() / 1e6,
+            "production_combined_gflops": combined_model_rate / 1e9,
+        },
+        units={"virtual_time_s": "BSP critical-path seconds"},
+    )
 
 
 def test_bench_coupler_moves_boundary_conditions(benchmark):

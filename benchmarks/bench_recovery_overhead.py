@@ -16,13 +16,14 @@ Results land in ``benchmarks/out/BENCH_recovery.json`` (machine-readable)
 and ``benchmarks/out/recovery_overhead.txt`` (the table).
 """
 
-import json
+import time
 
 from repro.faults import run_crash_recovery_demo
 from repro.hardware.cluster import HyadesCluster, HyadesConfig
 from repro.recover import RecoveryConfig
 
-from _tables import OUT_DIR, emit, format_table
+from _emit import emit_bench
+from _tables import emit, format_table
 
 WINDOWS = 4
 
@@ -99,8 +100,10 @@ def heartbeat_tax(windows=3):
 
 
 def test_bench_recovery_overhead():
+    t0 = time.perf_counter()
     sweep = overhead_vs_interval()
     hb = heartbeat_tax()
+    wall = time.perf_counter() - t0
 
     table = [
         [
@@ -136,13 +139,13 @@ def test_bench_recovery_overhead():
             table,
         ),
     )
-    OUT_DIR.mkdir(exist_ok=True)
-    (OUT_DIR / "BENCH_recovery.json").write_text(
-        json.dumps(
-            {"overhead_vs_interval": sweep, "heartbeat_tax": hb},
-            indent=1,
-            sort_keys=True,
-        )
+    emit_bench(
+        "recovery",
+        wall_clock_s=wall,
+        virtual_time_s=sweep[0]["clean_run_s"],
+        model_error={"heartbeat_tax": hb["heartbeat_tax_pct"] / 100.0},
+        data={"overhead_vs_interval": sweep, "heartbeat_tax": hb},
+        units={"virtual_time_s": "clean K=1 run, DES seconds"},
     )
 
     # Sanity: every crash recovered bit-exactly; detection is bounded.

@@ -36,4 +36,25 @@ echo "== crash-recovery smoke (no-recover must fail with a structured error) =="
 python -m repro faults --crash 1@auto --no-recover | tee -a fault_recovery_report.txt
 
 echo
+echo "== traced smoke (Chrome trace JSON must validate against the schema) =="
+python -m repro trace /tmp/trace_smoke.json --windows 1
+python - <<'PY'
+import json
+
+from repro.obs.schema import assert_valid, validate_chrome_trace
+
+with open("/tmp/trace_smoke.json") as fh:
+    obj = json.load(fh)
+assert_valid(validate_chrome_trace(obj), "trace smoke")
+print(f"trace smoke: {len(obj['traceEvents'])} events validate")
+PY
+
+echo
+echo "== machine-readable benchmarks (schema'd BENCH_*.json) =="
+python -m pytest -q -p no:cacheprovider --benchmark-disable \
+  benchmarks/bench_fig02_logp.py \
+  benchmarks/bench_fig08_globalsum.py \
+  benchmarks/bench_fig09_coupled.py
+
+echo
 echo "ci.sh: all checks passed"

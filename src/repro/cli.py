@@ -7,6 +7,10 @@ Commands:
 * ``run`` — a short ocean integration with live diagnostics.
 * ``microbench`` — the network microbenchmarks on the DES cluster.
 * ``pfpp`` — the interconnect study (Fig. 12 + verdicts).
+* ``trace`` — run the coupled DES demo with the tracer on and write a
+  Chrome trace-event JSON (open in chrome://tracing or
+  https://ui.perfetto.dev) covering the fabric, NIUs, DES processes and
+  both isomorphs' BSP clocks.
 * ``faults`` — coupled run under a seeded fault plan (``--seed``,
   ``--drop``, ``--corrupt``); bit-exact recovery via the reliable
   layer, or the watchdog deadlock diagnostic with ``--no-retry``.
@@ -62,6 +66,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
         f"virtual elapsed {summ['elapsed'] * 1e3:.1f} ms; sustained "
         f"{summ['sustained_flops'] / 1e6:.1f} MFlop/s"
     )
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Traced coupled demo run -> Chrome trace JSON + telemetry summary."""
+    from repro.obs.capture import save_trace, traced_coupled_run
+
+    print(
+        f"tracing coupled demo: {args.windows} coupling window(s) on the "
+        "simulated Hyades cluster"
+    )
+    result = traced_coupled_run(windows=args.windows)
+    save_trace(result, args.out)
+    tr = result["tracer"]
+    print(
+        f"wrote {args.out}: {tr.n_events} events "
+        f"({tr.dropped} dropped past the cap)"
+    )
+    for cat, n in sorted(tr.category_counts().items()):
+        print(f"  {cat:10s} {n}")
+    print(
+        f"engine: {result['engine_events']} DES events, "
+        f"{result['engine_time_s'] * 1e3:.3f} ms virtual; "
+        f"coupler wire time {result['des_elapsed_s'] * 1e6:.1f} us"
+    )
+    for comp in ("atm", "ocn"):
+        rec = result[f"{comp}_metrics"]
+        for phase, tot in sorted(rec.totals().items()):
+            print(
+                f"  {comp}/{phase}: compute {tot['compute_s'] * 1e3:.2f} ms, "
+                f"exchange {tot['exchange_s'] * 1e3:.2f} ms, "
+                f"gsum {tot['gsum_s'] * 1e3:.2f} ms "
+                f"({tot['n_exchanges']} exchanges, {tot['n_gsums']} gsums)"
+            )
     return 0
 
 
@@ -219,9 +257,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_report.add_argument(
         "sections",
         nargs="*",
-        help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 faults recovery",
+        help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 telemetry faults recovery",
     )
     p_report.set_defaults(func=_cmd_report)
+
+    p_trace = sub.add_parser(
+        "trace", help="traced coupled demo -> Chrome trace-event JSON"
+    )
+    p_trace.add_argument("out", help="output path for the trace JSON")
+    p_trace.add_argument(
+        "--windows", type=int, default=1, help="coupling windows to trace"
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_run = sub.add_parser("run", help="short ocean integration")
     p_run.add_argument("--nx", type=int, default=64)

@@ -256,6 +256,32 @@ def _recovery_section() -> ReportSection:
     )
 
 
+def _telemetry_section() -> ReportSection:
+    from repro.gcm.ocean import ocean_model
+    from repro.obs.metrics import phase_crosscheck
+
+    model = ocean_model(nx=32, ny=16, nz=5, px=2, py=2, dt=1200.0)
+    model.runtime.attach_metrics()
+    model.run(4)
+    rows = []
+    for r in phase_crosscheck(model):
+        err = r["rel_err"]
+        rows.append(
+            [
+                r["quantity"],
+                f"{r['measured_s'] / US:.1f}",
+                f"{r['predicted_s'] / US:.1f}",
+                f"{err * 100:+.2f}%" if err is not None else "-",
+            ]
+        )
+    return ReportSection(
+        "telemetry",
+        "Telemetry - measured per-phase times vs cost model (4 steps)",
+        ["quantity", "measured us", "predicted us", "rel err"],
+        rows,
+    )
+
+
 #: Registry of report builders, in paper order.
 SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig2": _fig2_section,
@@ -265,6 +291,7 @@ SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig11": _fig11_section,
     "fig12": _fig12_section,
     "sec53": _sec53_section,
+    "telemetry": _telemetry_section,
     "faults": _faults_section,
     "recovery": _recovery_section,
 }

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.gcm.timestepper import Model
+from repro.obs import trace as obs_trace
 from repro.parallel.exchange import HaloExchanger, exchange_halos
 
 
@@ -83,6 +84,12 @@ class CoupledModel:
             exchange_halos(self.ocean.decomp, tiles)
             self.ocean.coupling[name] = tiles
         self.couplings += 1
+        tr = obs_trace.TRACER
+        if tr is not None:
+            tr.instant(
+                "coupler", "events", "couple", self.elapsed, cat="coupler",
+                args={"coupling": self.couplings},
+            )
 
     def step_coupled(self) -> None:
         """Advance both components one coupling window, then couple."""
@@ -182,6 +189,8 @@ class DESCoupledModel(CoupledModel):
 
     def exchange_boundary_conditions(self) -> None:
         """One coupling event with the halo fills on the wire."""
+        tr = obs_trace.TRACER
+        t0 = self.cluster.engine.now
         # ocean -> atmosphere: SST
         sst = self.ocean.surface_temperature()
         sst_tiles = self._hx_atm.scatter_global(sst)
@@ -202,6 +211,12 @@ class DESCoupledModel(CoupledModel):
             self.des_elapsed += self._des_ocn.exchange(tiles)
             self.ocean.coupling[name] = tiles
         self.couplings += 1
+        if tr is not None:
+            tr.complete(
+                "coupler", "wire", "couple",
+                t0, self.cluster.engine.now, cat="coupler",
+                args={"coupling": self.couplings, "des_elapsed_s": self.des_elapsed},
+            )
 
     # -- self-healing run loop -------------------------------------------
 

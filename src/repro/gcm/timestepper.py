@@ -145,6 +145,7 @@ class Model:
             cpus_per_node=cpn,
             machine=config.machine,
         )
+        self.runtime.trace_label = config.name
         # DS decomposition (one tile per SMP master by default).
         ds_px, ds_py = config.resolve_ds_shape()
         if (ds_px, ds_py) == (config.px, config.py):
@@ -306,6 +307,8 @@ class Model:
         st.time += cfg.dt
         st.step_count += 1
         self.history.append(stats)
+        if rt.metrics is not None:
+            rt.metrics.end_step(ni=stats.ni, step=st.step_count)
         return stats
 
     def run(self, n_steps: int) -> List[StepStats]:
@@ -416,6 +419,7 @@ class Model:
             flops=fc.total,
             n_exchanges=2 * ni,
             n_gsums=2 * ni,
+            phase="nh",
         )
 
     def _charge_ds(self, cg_res: CGResult, counter: FlopCounter) -> None:
@@ -447,6 +451,7 @@ class Model:
             flops=counter.total,
             n_exchanges=2 * ni,
             n_gsums=2 * ni,
+            phase="ds",
         )
 
     # -- diagnostics -----------------------------------------------------

@@ -31,6 +31,7 @@ import random
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs import trace as obs_trace
 from repro.sim import Engine
 from repro.network.packet import Packet
 from repro.network.router import (
@@ -130,6 +131,12 @@ class FatTree:
         def sink(pkt: Packet) -> None:
             if self._endpoint_dead[ep]:
                 self.blackholed_packets += 1
+                tr = obs_trace.TRACER
+                if tr is not None:
+                    tr.instant(
+                        "fabric", f"ep{ep}", "blackhole", self.engine.now,
+                        cat="fault", args=obs_trace.emit_arg_packet(pkt),
+                    )
                 return
             target = self._endpoint_sinks[ep]
             if target is None:
@@ -247,6 +254,12 @@ class FatTree:
         self._endpoint_dead[ep] = True
         self.inject_links[ep].stall(float("inf"))
         self.engine.crashed_nodes[ep] = self.engine.now
+        tr = obs_trace.TRACER
+        if tr is not None:
+            tr.instant(
+                "fabric", f"ep{ep}", "crash", self.engine.now,
+                cat="fault", args={"endpoint": ep},
+            )
         for listener in list(self.crash_listeners):
             listener(ep)
 

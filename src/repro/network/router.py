@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+from repro.obs import trace as obs_trace
 from repro.sim import Engine, PriorityStore
 from repro.network.packet import Packet, Priority
 
@@ -85,6 +86,12 @@ class Link:
     def send(self, packet: Packet) -> None:
         """Enqueue a packet for transmission (HIGH priority jumps LOW)."""
         self._queue.try_put(packet, priority=int(packet.priority))
+        tr = obs_trace.TRACER
+        if tr is not None:
+            tr.counter(
+                "fabric", f"q:{self.name}", self.engine.now,
+                {"queued": len(self._queue)},
+            )
 
     @property
     def queued(self) -> int:
@@ -106,20 +113,42 @@ class Link:
                     self.stats.dropped += 1
                     return  # link is dead: stop transmitting entirely
                 yield self.engine.timeout(self._stalled_until - self.engine.now)
+            tr = obs_trace.TRACER
+            if tr is not None:
+                tr.counter(
+                    "fabric", f"q:{self.name}", self.engine.now,
+                    {"queued": len(self._queue)},
+                )
             if self.fault_hook is not None:
                 verdict = self.fault_hook(pkt)
                 if verdict == FAULT_DROP:
                     self.stats.dropped += 1
+                    if tr is not None:
+                        tr.instant(
+                            "fabric", self.name, "drop", self.engine.now,
+                            cat="fault", args=obs_trace.emit_arg_packet(pkt),
+                        )
                     continue
                 if verdict == FAULT_CORRUPT:
                     pkt.corrupt = True
                     self.stats.corrupted += 1
+                    if tr is not None:
+                        tr.instant(
+                            "fabric", self.name, "corrupt", self.engine.now,
+                            cat="fault", args=obs_trace.emit_arg_packet(pkt),
+                        )
             t_ser = pkt.wire_bytes / (self.bandwidth * max(self.rate_factor, 1e-9))
             self.stats.packets += 1
             self.stats.bytes += pkt.wire_bytes
             self.stats.busy_time += t_ser
             if pkt.priority == Priority.HIGH:
                 self.stats.high_priority_packets += 1
+            if tr is not None:
+                tr.complete(
+                    "fabric", self.name, f"{pkt.src}->{pkt.dst}",
+                    self.engine.now, self.engine.now + t_ser,
+                    cat="link", args=obs_trace.emit_arg_packet(pkt),
+                )
             # Cut-through: head reaches the far side after the stage
             # latency while the tail is still serializing here.
             self.engine.schedule(self.stage_latency, lambda p=pkt: self.sink(p))
@@ -147,6 +176,12 @@ class ArcticRouter:
             # Section 2.2: correctness verified at every router stage.
             self.crc_errors += 1
             self.dropped.append(packet)
+            tr = obs_trace.TRACER
+            if tr is not None:
+                tr.instant(
+                    "fabric", self.name, "crc-drop", self.engine.now,
+                    cat="fault", args=obs_trace.emit_arg_packet(packet),
+                )
             return
         if self.route_fn is None:
             raise RuntimeError(f"router {self.name} not wired into a topology")

@@ -36,6 +36,7 @@ from typing import Deque, Dict, Optional, Tuple
 
 from repro.network.packet import MAX_PAYLOAD_WORDS, Packet, Priority, WORD_BYTES
 from repro.niu.startx import PIO_COST_MODEL, StarTX
+from repro.obs import trace as obs_trace
 from repro.sim import AnyOf, Resource, Signal, Store
 
 # Reserved tags, below the VI tags (0x7FD..0x7FF).
@@ -270,6 +271,13 @@ class ReliableNIU:
             self.out_of_order_dropped += 1
             if flow.last_nacked != flow.expected:
                 flow.last_nacked = flow.expected
+                tr = obs_trace.TRACER
+                if tr is not None:
+                    tr.instant(
+                        "niu", f"node{self.niu.node_id}", "nack",
+                        self.engine.now, cat="reliable",
+                        args={"src": pkt.src, "expected": flow.expected, "got": seq},
+                    )
                 self._send_control(pkt.src, TAG_RNACK, flow.expected)
 
     def _accept_fragment(self, pkt: Packet) -> None:
@@ -395,6 +403,18 @@ class ReliableNIU:
                 base_seq=flow.unacked[0].seq if flow.unacked else flow.base,
                 attempts=flow.retries - 1,
                 outstanding=len(flow.unacked),
+            )
+        tr = obs_trace.TRACER
+        if tr is not None and flow.unacked:
+            tr.instant(
+                "niu", f"node{self.niu.node_id}", "retransmit",
+                self.engine.now, cat="reliable",
+                args={
+                    "dst": flow.dst,
+                    "base_seq": flow.unacked[0].seq,
+                    "outstanding": len(flow.unacked),
+                    "attempt": flow.retries,
+                },
             )
         for entry in list(flow.unacked):
             self.retransmissions += 1

@@ -25,6 +25,7 @@ import math
 from dataclasses import dataclass, field as dc_field
 from typing import Any, Callable, Dict, Optional
 
+from repro.obs import trace as obs_trace
 from repro.sim import Engine, Signal, Store
 from repro.network.fattree import FatTree
 from repro.network.packet import (
@@ -138,8 +139,21 @@ class StarTX:
         # Endpoint CRC check: software sees only a 1-bit status.
         if not pkt.check_crc():
             self.crc_status_errors += 1
+            tr = obs_trace.TRACER
+            if tr is not None:
+                tr.instant(
+                    "niu", f"node{self.node_id}", "crc-status-drop",
+                    self.engine.now, cat="fault",
+                    args=obs_trace.emit_arg_packet(pkt),
+                )
             return
         self.packets_received += 1
+        tr = obs_trace.TRACER
+        if tr is not None:
+            tr.instant(
+                "niu", f"node{self.node_id}", "recv", self.engine.now,
+                cat="niu", args=obs_trace.emit_arg_packet(pkt),
+            )
         if self.rx_hook is not None and self.rx_hook(pkt):
             return
         if pkt.tag == TAG_VI_DATA:
@@ -174,8 +188,17 @@ class StarTX:
             if len(buf) < offset + len(chunk):
                 buf.extend(b"\x00" * (offset + len(chunk) - len(buf)))
             buf[offset : offset + len(chunk)] = chunk
+        if xfer.start_time == 0.0:
+            xfer.start_time = self.engine.now
         if xfer.nbytes >= 0 and xfer.complete:
             xfer.end_time = self.engine.now
+            tr = obs_trace.TRACER
+            if tr is not None:
+                tr.complete(
+                    "niu", f"node{self.node_id}", f"vi-recv xid={xid}",
+                    xfer.start_time, xfer.end_time, cat="vi",
+                    args={"src": xfer.src, "bytes": xfer.nbytes},
+                )
             self._vi_complete.setdefault(
                 xid, Signal(self.engine, name=f"vi-complete[xid={xid}]")
             ).fire(xfer)
@@ -206,6 +229,12 @@ class StarTX:
             data=data,
         )
         self.packets_sent += 1
+        tr = obs_trace.TRACER
+        if tr is not None:
+            tr.instant(
+                "niu", f"node{self.node_id}", "pio-send", self.engine.now,
+                cat="niu", args=obs_trace.emit_arg_packet(pkt),
+            )
         self.fabric.inject(pkt)
         return pkt
 

@@ -1,0 +1,80 @@
+"""Schema'd benchmark records: the repo's perf trajectory.
+
+Every ``benchmarks/bench_*.py`` routes its result through
+:func:`write_bench` (via the thin ``benchmarks/_emit.py`` wrapper), so
+each run leaves a ``BENCH_<name>.json`` that validates against
+:data:`repro.obs.schema.BENCH_SCHEMA`.  Three fields are mandatory and
+uniform across benchmarks:
+
+* ``wall_clock_s`` — real seconds of the workload on the host (the
+  regression-gate signal);
+* ``virtual_time_s`` — simulated seconds, when the benchmark runs the
+  DES or BSP clock (null for pure-model benchmarks);
+* ``model_error`` — named relative errors of the reproduction against
+  the paper's measured values or the analytic model.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import platform
+import time
+from typing import Optional, Union
+
+from repro.obs.schema import (
+    BENCH_SCHEMA_VERSION,
+    assert_valid,
+    validate_bench,
+)
+
+
+def bench_record(
+    name: str,
+    wall_clock_s: float,
+    virtual_time_s: Optional[float] = None,
+    model_error: Optional[dict] = None,
+    data: Optional[dict] = None,
+    units: Optional[dict] = None,
+    timestamp: Optional[float] = None,
+) -> dict:
+    """Build and validate one benchmark record.
+
+    Raises ``ValueError`` listing every schema violation, so a benchmark
+    that emits garbage fails at emit time, not in CI's consumer.
+    """
+    record = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "kind": "benchmark",
+        "name": name,
+        "wall_clock_s": float(wall_clock_s),
+        "virtual_time_s": None if virtual_time_s is None else float(virtual_time_s),
+        "model_error": model_error,
+        "data": data or {},
+        "created_unix": time.time() if timestamp is None else timestamp,
+        "provenance": {
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+    }
+    if units:
+        record["units"] = units
+    assert_valid(validate_bench(record), f"benchmark record {name!r}")
+    return record
+
+
+def write_bench(out_dir: Union[str, pathlib.Path], name: str, **kwargs) -> pathlib.Path:
+    """Write ``BENCH_<name>.json`` under ``out_dir``; returns the path."""
+    record = bench_record(name, **kwargs)
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / f"BENCH_{name}.json"
+    path.write_text(json.dumps(record, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def read_bench(path: Union[str, pathlib.Path]) -> dict:
+    """Load and re-validate a benchmark record."""
+    record = json.loads(pathlib.Path(path).read_text())
+    assert_valid(validate_bench(record), f"benchmark record at {path}")
+    return record

@@ -43,6 +43,10 @@ def exchange_halos(
         )
     o = decomp.olx
     w = o if width is None else width
+    if w < 0:
+        # A negative width would flip the halo slices into interior
+        # ranges and silently overwrite interior cells.
+        raise ValueError(f"exchange width must be >= 0, got {w}")
     if w > o:
         raise ValueError(f"exchange width {w} exceeds halo {o}")
     if w == 0:

@@ -24,6 +24,8 @@ from typing import Optional, Sequence
 import numpy as np
 
 from repro.network.costmodel import CommCostModel, arctic_cost_model
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRecorder
 from repro.parallel.exchange import exchange_halos
 from repro.parallel.globalsum import GlobalSummer
 from repro.parallel.tiling import Decomposition
@@ -98,10 +100,31 @@ class LockstepRuntime:
         #: ``record_timeline=True`` for post-mortem schedule analysis.
         self.record_timeline = record_timeline
         self.timeline: list[tuple[str, float, float]] = []
+        #: Optional per-phase telemetry sink (see :meth:`attach_metrics`).
+        self.metrics: Optional[MetricsRecorder] = None
+        #: Phase label charged for exchanges/global sums/barriers when the
+        #: call itself carries none (the gcm's loop structure makes PS the
+        #: phase of every direct runtime call; DS/NH charge via
+        #: :meth:`charge_phase` with an explicit phase).
+        self.current_phase = "ps"
+        #: Track label for trace spans of this runtime's lockstep clock.
+        self.trace_label = "bsp"
+
+    def attach_metrics(self, recorder: Optional[MetricsRecorder] = None) -> MetricsRecorder:
+        """Attach (and return) a per-phase telemetry recorder."""
+        self.metrics = recorder or MetricsRecorder()
+        return self.metrics
 
     def _log(self, kind: str, t_start: float) -> None:
+        t_end = self.elapsed
         if self.record_timeline:
-            self.timeline.append((kind, t_start, self.elapsed))
+            self.timeline.append((kind, t_start, t_end))
+        tr = obs_trace.TRACER
+        if tr is not None and t_end > t_start:
+            tr.complete(
+                f"bsp:{self.trace_label}", "critical-path", kind,
+                t_start, t_end, cat="bsp",
+            )
 
     # -- compute ---------------------------------------------------------
 
@@ -115,6 +138,10 @@ class LockstepRuntime:
         for r, st in enumerate(self.stats):
             st.compute_time += dt[r]
             st.flops += int(flops[r])
+        if self.metrics is not None:
+            self.metrics.record(
+                phase, "compute", float(dt.max()), flops=int(flops.sum())
+            )
         self._log(f"compute:{phase}", t_start)
 
     # -- exchange ----------------------------------------------------------
@@ -136,6 +163,7 @@ class LockstepRuntime:
         field_list = list(fields) if multi else [fields]  # type: ignore[list-item]
 
         costs = np.zeros(self.n_ranks)
+        total_bytes = 0
         for f in field_list:
             arr0 = f[0]
             nz = 1 if arr0.ndim == 2 else arr0.shape[0]
@@ -146,6 +174,7 @@ class LockstepRuntime:
                     edges, mixmode=self.mixmode, n_ranks=self.n_ranks
                 )
                 self.stats[r].bytes_exchanged += sum(edges)
+                total_bytes += sum(edges)
 
         # Neighbour synchronization: a rank cannot finish its exchange
         # before the tiles it trades halos with have arrived at it.
@@ -162,6 +191,14 @@ class LockstepRuntime:
             st.sync_time += synced[r] - before[r]
             st.exchange_time += costs[r]
             st.n_exchanges += len(field_list)
+        if self.metrics is not None:
+            self.metrics.record(
+                self.current_phase, "exchange", float(costs.max()),
+                nbytes=total_bytes, exchanges=len(field_list),
+            )
+            self.metrics.record(
+                self.current_phase, "sync", float((synced - before).max())
+            )
         self._log(f"exchange:{len(field_list)}f", t_start)
 
     # -- global sum ---------------------------------------------------------
@@ -177,13 +214,22 @@ class LockstepRuntime:
             st.sync_time += now - before[r]
             st.gsum_time += t_g
             st.n_gsums += 1
+        if self.metrics is not None:
+            self.metrics.record(self.current_phase, "gsum", t_g, gsums=1)
+            self.metrics.record(
+                self.current_phase, "sync", float((now - before).max())
+            )
         self._log("gsum", now)
         return result
 
     def barrier(self) -> None:
         """Synchronize clocks (costed like a dataless global sum)."""
         t_b = self.cost_model.barrier_time(self.n_nodes)
+        t_start = self.elapsed
         self.clocks[:] = float(self.clocks.max()) + t_b
+        if self.metrics is not None:
+            self.metrics.record(self.current_phase, "barrier", t_b)
+        self._log("barrier", t_start)
 
     def sync(self) -> None:
         """Cost-free clock alignment (e.g. entering a phase that begins
@@ -202,6 +248,7 @@ class LockstepRuntime:
         flops: float = 0.0,
         n_exchanges: int = 0,
         n_gsums: int = 0,
+        phase: str = "ds",
     ) -> None:
         """Charge a pre-aggregated, globally-synchronous phase uniformly.
 
@@ -220,6 +267,12 @@ class LockstepRuntime:
             st.flops += int(per_rank_flops)
             st.n_exchanges += n_exchanges
             st.n_gsums += n_gsums
+        if self.metrics is not None:
+            self.metrics.record(phase, "compute", compute, flops=int(flops))
+            self.metrics.record(
+                phase, "exchange", exchange, exchanges=n_exchanges
+            )
+            self.metrics.record(phase, "gsum", gsum, gsums=n_gsums)
         self._log(f"solver:{n_gsums // 2}it", t_start)
 
     # -- reporting -----------------------------------------------------------

@@ -9,11 +9,17 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import math
 from typing import Any, Callable, Iterator, Optional
+
+from repro.obs import trace as obs_trace
 
 
 class SimTimeError(ValueError):
-    """Raised when an event is scheduled in the (virtual) past."""
+    """Raised when an event is scheduled in the (virtual) past — or at a
+    non-finite time, which would silently corrupt heap ordering (``nan``
+    compares False against everything, so it would sink into the heap
+    and break the determinism invariant rather than erroring)."""
 
 
 class DeadlockError(RuntimeError):
@@ -62,14 +68,18 @@ class DeadlockError(RuntimeError):
         hits = []
         for n in sorted(self.crashed):
             for token in (f"node{n}", f"rank{n}"):
-                # avoid matching e.g. "node1" inside "node12"
+                # require a token boundary on both sides: "node1" must
+                # not match inside "node12" (right) nor inside
+                # "badnode1"/"respawnnode1" (left).
                 idx = text.find(token)
                 while idx != -1:
                     end = idx + len(token)
-                    if end == len(text) or not text[end].isdigit():
+                    left_ok = idx == 0 or not text[idx - 1].isalnum()
+                    right_ok = end == len(text) or not text[end].isdigit()
+                    if left_ok and right_ok:
                         hits.append(n)
                         break
-                    idx = text.find(token, end)
+                    idx = text.find(token, idx + 1)
                 if hits and hits[-1] == n:
                     break
         return hits
@@ -118,12 +128,16 @@ class Engine:
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` after ``delay`` seconds of virtual time."""
+        if not math.isfinite(delay):
+            raise SimTimeError(f"cannot schedule a non-finite delay ({delay})")
         if delay < 0:
             raise SimTimeError(f"cannot schedule {delay} s in the past")
         heapq.heappush(self._heap, (self._now + delay, next(self._seq), fn))
 
     def schedule_at(self, when: float, fn: Callable[[], None]) -> None:
         """Run ``fn`` at absolute virtual time ``when``."""
+        if not math.isfinite(when):
+            raise SimTimeError(f"cannot schedule at a non-finite time ({when})")
         if when < self._now:
             raise SimTimeError(f"cannot schedule at {when} < now {self._now}")
         heapq.heappush(self._heap, (when, next(self._seq), fn))
@@ -193,6 +207,14 @@ class Engine:
             self._now = when
             self._nevents += 1
             fn()
+            tr = obs_trace.TRACER
+            if tr is not None and self._nevents % 64 == 0:
+                tr.counter(
+                    "engine",
+                    "events",
+                    self._now,
+                    {"pending": len(self._heap), "executed": self._nevents},
+                )
             if max_events is not None and self._nevents >= max_events:
                 hit_cap = True
                 break

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterator, Optional
 
+from repro.obs import trace as obs_trace
 from repro.sim.engine import Engine, Interrupt
 
 _PENDING = object()
@@ -141,6 +142,7 @@ class Process(BaseEvent):
         self.name = name or getattr(gen, "__name__", "process")
         self.daemon = daemon
         self._waiting_on: Optional[BaseEvent] = None
+        self._trace_blocked = False
         engine._register_process(self)
         engine.schedule(0.0, lambda: self._resume(None, None))
 
@@ -160,7 +162,29 @@ class Process(BaseEvent):
         if self.triggered:
             return
         self._waiting_on = None  # stale wakeups are ignored via the token
+        self._trace_unblock()
         self.engine.schedule(0.0, lambda: self._resume(None, Interrupt(cause)))
+
+    # -- tracing (block/unblock spans on the process track) --------------
+
+    def _trace_block(self) -> None:
+        tr = obs_trace.TRACER
+        if tr is not None:
+            tr.begin(
+                "processes",
+                self.name,
+                f"wait {self.waiting_desc()}",
+                self.engine.now,
+                cat="proc",
+            )
+            self._trace_blocked = True
+
+    def _trace_unblock(self) -> None:
+        if self._trace_blocked:
+            self._trace_blocked = False
+            tr = obs_trace.TRACER
+            if tr is not None:
+                tr.end("processes", self.name, self.engine.now)
 
     def _resume(self, value: Any, exc: Optional[BaseException]) -> None:
         if self.triggered:
@@ -182,12 +206,15 @@ class Process(BaseEvent):
                 f"process {self.name!r} yielded non-waitable {target!r}"
             )
         self._waiting_on = target
+        if obs_trace.TRACER is not None:
+            self._trace_block()
         target.subscribe(self._on_wait_done)
 
     def _on_wait_done(self, ev: BaseEvent) -> None:
         if self._waiting_on is not ev:
             return  # interrupted while waiting; this wakeup is stale
         self._waiting_on = None
+        self._trace_unblock()
         if ev.ok:
             self._resume(ev.value, None)
         else:

@@ -1,0 +1,59 @@
+"""The unified benchmark emitter: schema'd BENCH_<name>.json records."""
+
+import json
+
+import pytest
+
+from repro.obs.bench import bench_record, read_bench, write_bench
+
+
+def test_record_has_the_three_uniform_fields():
+    rec = bench_record("demo", wall_clock_s=0.25)
+    assert rec["wall_clock_s"] == 0.25
+    assert rec["virtual_time_s"] is None
+    assert rec["model_error"] is None
+    assert rec["kind"] == "benchmark"
+
+
+def test_record_rejects_schema_violations():
+    with pytest.raises(ValueError, match="wall_clock_s"):
+        bench_record("demo", wall_clock_s=-1.0)
+    with pytest.raises(ValueError):
+        bench_record("demo", wall_clock_s=0.1, model_error={"x": "not-a-number"})
+
+
+def test_write_and_read_round_trip(tmp_path):
+    path = write_bench(
+        tmp_path,
+        "fig09_coupled",
+        wall_clock_s=1.5,
+        virtual_time_s=0.002,
+        model_error={"combined_gflops": -0.04},
+        data={"windows": 3},
+        units={"wall_clock_s": "s"},
+    )
+    assert path.name == "BENCH_fig09_coupled.json"
+    rec = read_bench(path)
+    assert rec["virtual_time_s"] == 0.002
+    assert rec["model_error"] == {"combined_gflops": -0.04}
+    assert rec["data"] == {"windows": 3}
+    assert rec["units"]["wall_clock_s"] == "s"
+
+
+def test_write_creates_out_dir(tmp_path):
+    path = write_bench(tmp_path / "nested" / "out", "x", wall_clock_s=0.0)
+    assert path.exists()
+
+
+def test_read_rejects_tampered_record(tmp_path):
+    path = write_bench(tmp_path, "x", wall_clock_s=0.1)
+    rec = json.loads(path.read_text())
+    del rec["data"]
+    path.write_text(json.dumps(rec))
+    with pytest.raises(ValueError, match="data"):
+        read_bench(path)
+
+
+def test_fixed_timestamp_is_respected():
+    rec = bench_record("demo", wall_clock_s=0.0, timestamp=123.0)
+    assert rec["created_unix"] == 123.0

@@ -91,6 +91,15 @@ def test_width_exceeding_halo_rejected():
         exchange_halos(d, tiles, width=2)
 
 
+def test_negative_width_rejected():
+    """A negative width would flip the halo slices into interior ranges
+    and silently overwrite interior cells; it must raise instead."""
+    d = Decomposition(16, 16, 2, 2, olx=1)
+    tiles = [t.alloc2d() for t in d.tiles]
+    with pytest.raises(ValueError, match="width must be >= 0"):
+        exchange_halos(d, tiles, width=-1)
+
+
 def test_wrong_tile_count_rejected():
     d = Decomposition(16, 16, 2, 2)
     with pytest.raises(ValueError):

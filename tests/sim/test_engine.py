@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, SimTimeError
+from repro.sim import Engine, SimTimeError, Store
 
 
 def test_clock_starts_at_zero():
@@ -108,3 +108,84 @@ def test_events_executed_counter():
         eng.schedule(float(i), lambda: None)
     eng.run()
     assert eng.events_executed == 5
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_schedule_nonfinite_delay_rejected(bad):
+    eng = Engine()
+    with pytest.raises(SimTimeError):
+        eng.schedule(bad, lambda: None)
+
+
+@pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+def test_schedule_at_nonfinite_time_rejected(bad):
+    eng = Engine()
+    with pytest.raises(SimTimeError):
+        eng.schedule_at(bad, lambda: None)
+
+
+def test_nan_delay_does_not_corrupt_heap():
+    """The regression this guards: ``nan < 0`` is False, so a nan delay
+    passed the old past-time check, sank into the heap and silently broke
+    event ordering for everything scheduled after it."""
+    eng = Engine()
+    fired = []
+    with pytest.raises(SimTimeError):
+        eng.schedule(float("nan"), lambda: fired.append("nan"))
+    eng.schedule(1.0, lambda: fired.append("ok"))
+    eng.schedule(2.0, lambda: fired.append("later"))
+    assert eng.run() == 2.0
+    assert fired == ["ok", "later"]
+
+
+def test_event_exactly_at_until_boundary_runs():
+    eng = Engine()
+    fired = []
+    eng.schedule(2.0, lambda: fired.append(eng.now))
+    assert eng.run(until=2.0) == 2.0
+    assert fired == [2.0]
+
+
+def test_stop_when_halts_before_until_boundary_event():
+    """``stop_when`` is checked between events: once satisfied, the run
+    returns at the current time and leaves the boundary event pending."""
+    eng = Engine()
+    fired = []
+    eng.schedule(1.0, lambda: fired.append("a"))
+    eng.schedule(2.0, lambda: fired.append("b"))
+    t = eng.run(until=2.0, stop_when=lambda: bool(fired))
+    assert fired == ["a"]
+    assert t == 1.0
+    assert not eng.empty()
+
+
+def test_max_events_cap_on_final_event_suppresses_watchdog():
+    """Hitting the event cap exactly as the heap drains is a truncated
+    run, not quiescence: the watchdog must not blame blocked workers."""
+    eng = Engine()
+    store = Store(eng)
+
+    def worker():
+        yield store.get()
+
+    eng.process(worker(), name="w")
+    # the process-start callback is the only event; the cap lands on it
+    eng.run(max_events=1, watchdog=True)  # no DeadlockError
+
+
+def test_watchdog_with_perpetual_daemon_traffic_and_stop_when():
+    """Heartbeat-style daemon traffic keeps the heap non-empty forever;
+    a completion predicate bounds the run and the watchdog stays quiet."""
+    eng = Engine()
+    beats = []
+
+    def beacon():
+        while True:
+            yield eng.timeout(1.0)
+            beats.append(eng.now)
+
+    eng.process(beacon(), name="beacon", daemon=True)
+    t = eng.run(stop_when=lambda: len(beats) >= 5, watchdog=True)
+    assert beats == [1.0, 2.0, 3.0, 4.0, 5.0]
+    assert t == 5.0
+    assert not eng.empty()  # the daemon's next beat is still pending

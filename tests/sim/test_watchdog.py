@@ -143,3 +143,36 @@ class TestWatchdog:
         eng.process(firer(), name="f")
         eng.run(watchdog=True)
         assert got == [2.0]
+
+    def test_crash_annotation_requires_left_token_boundary(self):
+        """Crashed node 1 must not be blamed for a process whose name
+        merely *ends* in node1 ('badnode1') — but the genuine node1
+        queue later in the same text must still be found (the scan
+        resumes past the rejected occurrence)."""
+        eng = Engine()
+        store = Store(eng, name="pio-rx[node1]")
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="badnode1-relay")
+        eng.crashed_nodes[1] = 0.5
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(watchdog=True)
+        # matched via the queue name, despite the decoy process name
+        assert "node 1 (crashed at t=0.5 s)" in str(ei.value)
+
+    def test_crash_annotation_rejects_embedded_token_entirely(self):
+        """When every occurrence is embedded ('badnode1' only), no
+        crash annotation may appear."""
+        eng = Engine()
+        store = Store(eng, name="queue[badnode1]")
+
+        def worker():
+            yield store.get()
+
+        eng.process(worker(), name="relay-badnode1")
+        eng.crashed_nodes[1] = 0.5
+        with pytest.raises(DeadlockError) as ei:
+            eng.run(watchdog=True)
+        assert "queue belongs to" not in str(ei.value)
