@@ -54,7 +54,8 @@ echo "== machine-readable benchmarks (schema'd BENCH_*.json) =="
 python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig02_logp.py \
   benchmarks/bench_fig08_globalsum.py \
-  benchmarks/bench_fig09_coupled.py
+  benchmarks/bench_fig09_coupled.py \
+  benchmarks/bench_collectives.py
 
 echo
 echo "ci.sh: all checks passed"

@@ -6,7 +6,11 @@ Commands:
   (Fig. 2, Fig. 10, Fig. 12, Section 5.3) from the simulation/models.
 * ``run`` — a short ocean integration with live diagnostics.
 * ``microbench`` — the network microbenchmarks on the DES cluster.
-* ``pfpp`` — the interconnect study (Fig. 12 + verdicts).
+* ``pfpp`` — the interconnect study (Fig. 12 + verdicts);
+  ``--best-collectives`` adds the autotuned-gsum ceiling at N=16/64/256.
+* ``collectives`` — autotuned collective plans over the Arctic fabric
+  (``--sweep`` for size/algorithm crossover tables, ``--crossval`` for
+  a packet-level DES check of the winning schedule).
 * ``trace`` — run the coupled DES demo with the tracer on and write a
   Chrome trace-event JSON (open in chrome://tracing or
   https://ui.perfetto.dev) covering the fabric, NIUs, DES processes and
@@ -235,13 +239,70 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     return 0 if res.bit_exact else 1
 
 
-def _cmd_pfpp(_args: argparse.Namespace) -> int:
+def _cmd_pfpp(args: argparse.Namespace) -> int:
     from repro.core.pfpp import fig12_table
 
     print(f"{'interconnect':20s} {'Pfpp,ps':>10s} {'Pfpp,ds':>10s}")
     for r in fig12_table(from_models=True):
         print(f"{r.name:20s} {r.pfpp_ps / 1e6:9.1f}M {r.pfpp_ds / 1e6:9.2f}M")
     print("(reference compute rates: Fps=50M, Fds=60M flop/s)")
+    if getattr(args, "best_collectives", False):
+        from repro.core.pfpp import best_collectives_table
+
+        print()
+        print("PFPP under best-known collective (autotuned Arctic gsum):")
+        print(
+            f"{'N':>4s} {'gsum alg':>24s} {'tgsum':>9s} "
+            f"{'Pfpp,ps':>10s} {'Pfpp,ds':>10s}"
+        )
+        for b in best_collectives_table():
+            print(
+                f"{b.n_nodes:4d} {b.gsum_algorithm:>24s} "
+                f"{b.tgsum * 1e6:7.1f}us {b.pfpp_ps / 1e6:9.1f}M "
+                f"{b.pfpp_ds / 1e6:9.2f}M"
+            )
+    return 0
+
+
+def _cmd_collectives(args: argparse.Namespace) -> int:
+    """Autotuned collective plans: single plan, size sweep, DES check."""
+    from repro.collectives import Autotuner, cost_table
+
+    tuner = Autotuner()
+    if args.sweep:
+        sizes = [8, 64, 1024, 8192, 65536, 524288]
+        for n in args.nodes:
+            table = cost_table(args.op, n, sizes)
+            algs = sorted(table)
+            print(f"{args.op} at N={n} (us per collective; * = tuner's pick):")
+            print(f"{'bytes':>8s} " + " ".join(f"{a:>26s}" for a in algs))
+            for i, size in enumerate(sizes):
+                best = tuner.plan(args.op, n, size).algorithm
+                cells = [
+                    f"{table[a][i] * 1e6:25.1f}{'*' if a == best else ' '}"
+                    for a in algs
+                ]
+                print(f"{size:8d} " + " ".join(cells))
+        return 0
+    plan = tuner.plan(args.op, args.nodes[0], args.nbytes, priority=args.priority)
+    print(
+        f"{plan.op} N={plan.n} {plan.nbytes}B [{plan.priority.name}]: "
+        f"{plan.algorithm} ({plan.n_rounds} rounds, "
+        f"{plan.total_messages} messages, {plan.predicted_s * 1e6:.1f} us)"
+    )
+    for alg, cost in sorted(plan.costs.items(), key=lambda kv: kv[1]):
+        mark = "*" if alg == plan.algorithm else " "
+        print(f"  {mark} {alg:26s} {cost * 1e6:9.1f} us")
+    if args.crossval:
+        if plan.n > 16:
+            print("crossval: skipped (DES check limited to N<=16)", file=sys.stderr)
+            return 2
+        cv = tuner.crossvalidate(plan)
+        print(
+            f"DES replay: {cv['des_s'] * 1e6:.1f} us "
+            f"(model {cv['predicted_s'] * 1e6:.1f} us, "
+            f"error {cv['rel_err']:.1%})"
+        )
     return 0
 
 
@@ -257,7 +318,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_report.add_argument(
         "sections",
         nargs="*",
-        help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 telemetry faults recovery",
+        help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 collectives telemetry "
+        "faults recovery",
     )
     p_report.set_defaults(func=_cmd_report)
 
@@ -325,7 +387,47 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_faults.set_defaults(func=_cmd_faults)
 
     p_pfpp = sub.add_parser("pfpp", help="interconnect PFPP summary")
+    p_pfpp.add_argument(
+        "--best-collectives",
+        action="store_true",
+        help="extend with the autotuned-collective PFPP at N=16/64/256",
+    )
     p_pfpp.set_defaults(func=_cmd_pfpp)
+
+    p_coll = sub.add_parser(
+        "collectives", help="autotuned collective plans over the Arctic fabric"
+    )
+    p_coll.add_argument(
+        "--op",
+        default="allreduce",
+        choices=["allreduce", "broadcast", "allgather", "reduce_scatter",
+                 "alltoall", "barrier"],
+    )
+    p_coll.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[16],
+        help="rank counts (first one used outside --sweep)",
+    )
+    p_coll.add_argument("--nbytes", type=int, default=8, help="payload bytes")
+    p_coll.add_argument(
+        "--priority",
+        default="low",
+        choices=["high", "low"],
+        help="traffic class: high = fewest rounds, low = cheapest time",
+    )
+    p_coll.add_argument(
+        "--sweep",
+        action="store_true",
+        help="cost table across message sizes (algorithm crossovers)",
+    )
+    p_coll.add_argument(
+        "--crossval",
+        action="store_true",
+        help="replay the winning schedule on the DES cluster (N<=16)",
+    )
+    p_coll.set_defaults(func=_cmd_collectives)
 
     p_century = sub.add_parser("century", help="the Section 6 century projection")
     p_century.set_defaults(func=_cmd_century)

@@ -1,0 +1,112 @@
+"""Analytic cost evaluation of collective schedules (LogP/Arctic).
+
+Per-message costs come from the same calibrated places the DES charges:
+
+* small messages (<= 88 B payload) ride single PIO packets — sender
+  pays ``os(b)`` mmap-write cost, receiver pays the shared
+  ``GSUM_SW_COST`` poll-loop overhead plus ``or(b)`` mmap reads
+  (:data:`repro.niu.startx.PIO_COST_MODEL`,
+  :mod:`repro.network.overheads`).  At 8 bytes this round cost is
+  0.36 + 2.00 + 1.86 = 4.22 us — the DES global sum's exact per-round
+  cost, within 10 % of every measured Fig. 8 latency;
+* larger messages negotiate VI block transfers — each direction costs
+  ``transfer_overhead + b / bandwidth`` from the
+  :class:`~repro.network.costmodel.CommCostModel`, and a rank's sends
+  and receives serialize on its PCI bus (Section 4.1), exactly as
+  ``des_exchange`` measures ``2 (to + b/bw)`` for a pairwise swap.
+
+:func:`schedule_cost` propagates per-rank clocks round by round: a
+round's receives cannot complete before its senders have entered the
+round, so skewed trees cost their true critical path rather than
+``rounds x round_cost``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.logp import analytic_logp
+from repro.network.costmodel import CommCostModel, arctic_cost_model
+from repro.network.overheads import (
+    GSUM_SW_COST,
+    MIN_WIRE_BYTES,
+    SMALL_MSG_MAX_BYTES,
+)
+from repro.niu.startx import PIO_COST_MODEL
+
+from .schedules import Schedule, build, candidates
+
+
+def send_cost(nbytes: int, model: CommCostModel) -> float:
+    """Sender-side cost of one message (PIO store or VI transfer)."""
+    b = max(nbytes, MIN_WIRE_BYTES)
+    if b <= SMALL_MSG_MAX_BYTES:
+        return PIO_COST_MODEL.os_time(b)
+    return model.transfer_overhead + b / model.bandwidth
+
+
+def recv_cost(nbytes: int, model: CommCostModel) -> float:
+    """Receiver-side cost of one message (poll loop + mmap reads, or the
+    receive leg of a VI transfer)."""
+    b = max(nbytes, MIN_WIRE_BYTES)
+    if b <= SMALL_MSG_MAX_BYTES:
+        return GSUM_SW_COST + PIO_COST_MODEL.or_time(b)
+    return model.transfer_overhead + b / model.bandwidth
+
+
+def schedule_cost(
+    schedule: Schedule,
+    model: Optional[CommCostModel] = None,
+    per_rank: bool = False,
+):
+    """Predicted completion time of a schedule (seconds).
+
+    Mirrors the DES rank processes: within a round each rank first
+    issues its sends back-to-back, then drains its receives in schedule
+    order — a receive completes at ``max(own progress, message
+    arrival) + pull cost``, where the arrival is the *sender's* send
+    completion.  With ``per_rank`` returns the full clock vector
+    instead of its max.
+    """
+    model = model or arctic_cost_model()
+    n = schedule.n
+    clocks = [0.0] * n
+    for rnd in schedule.rounds:
+        cur = list(clocks)
+        sent: Dict[int, float] = {}
+        for j, s in enumerate(rnd):
+            cur[s.src] += send_cost(s.nbytes, model)
+            sent[j] = cur[s.src]
+        for j, s in enumerate(rnd):
+            b = max(s.nbytes, MIN_WIRE_BYTES)
+            if b <= SMALL_MSG_MAX_BYTES:
+                # PIO: one poll-loop pass overlaps the wait for the
+                # packet (sender's store + fabric transit), then the
+                # mmap reads drain it — exactly the DES inner loop
+                arrive = sent[j] + analytic_logp(b).latency
+                cur[s.dst] = (
+                    max(cur[s.dst] + GSUM_SW_COST, arrive)
+                    + PIO_COST_MODEL.or_time(b)
+                )
+            else:
+                # VI: the receiver's PCI pull serializes behind its own
+                # traffic and cannot start before the DMA has landed
+                cur[s.dst] = max(cur[s.dst], sent[j]) + recv_cost(s.nbytes, model)
+        clocks = cur
+    if per_rank:
+        return clocks
+    return max(clocks) if clocks else 0.0
+
+
+def cost_table(
+    op: str,
+    n: int,
+    sizes: Sequence[int],
+    model: Optional[CommCostModel] = None,
+) -> Dict[str, List[float]]:
+    """Analytic cost of every applicable algorithm across message sizes."""
+    model = model or arctic_cost_model()
+    return {
+        name: [schedule_cost(build(op, name, n, size), model) for size in sizes]
+        for name in candidates(op, n)
+    }

@@ -282,6 +282,45 @@ def _telemetry_section() -> ReportSection:
     )
 
 
+def _collectives_section() -> ReportSection:
+    from repro.collectives import Autotuner
+    from repro.hardware.cluster import HyadesCluster
+
+    tuner = Autotuner()
+    rows = []
+    for size in (8, 1024, 65536):
+        plan = tuner.plan("allreduce", 16, size)
+        runner_up = sorted(
+            (c for a, c in plan.costs.items() if a != plan.algorithm)
+        )
+        rows.append(
+            [
+                f"allreduce 16x{size}B",
+                plan.algorithm,
+                f"{plan.predicted_s / US:.1f}",
+                f"{runner_up[0] / US:.1f}" if runner_up else "-",
+                "",
+            ]
+        )
+    plan = tuner.plan("allreduce", 16, 8)
+    cv = tuner.crossvalidate(plan, HyadesCluster())
+    rows.append(
+        [
+            "DES crossval 16x8B",
+            plan.algorithm,
+            f"{cv['des_s'] / US:.1f}",
+            f"{cv['predicted_s'] / US:.1f}",
+            f"{cv['rel_err'] * 100:+.1f}% (|err| <= 10%)",
+        ]
+    )
+    return ReportSection(
+        "collectives",
+        "Collectives - autotuned algorithm selection (Arctic model)",
+        ["case", "winner", "us", "next-best us", "check"],
+        rows,
+    )
+
+
 #: Registry of report builders, in paper order.
 SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig2": _fig2_section,
@@ -291,6 +330,7 @@ SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig11": _fig11_section,
     "fig12": _fig12_section,
     "sec53": _sec53_section,
+    "collectives": _collectives_section,
     "telemetry": _telemetry_section,
     "faults": _faults_section,
     "recovery": _recovery_section,

@@ -14,13 +14,12 @@ import struct
 from typing import Optional, Sequence
 
 from repro.hardware.cluster import HyadesCluster
+from repro.network.overheads import GSUM_SW_COST  # noqa: F401  (re-exported)
 from repro.network.packet import Priority
 
-#: Per-round software cost of the global-sum inner loop beyond the raw
-#: mmap accesses: a missed status poll (0.93 us) plus loop/branch/FP-add
-#: overhead on the 400 MHz PII.  Calibrated so the DES global sums land
-#: within 10 % of all four measured values (4.0/8.3/12.8/18.2 us).
-GSUM_SW_COST = 2.0e-6
+# GSUM_SW_COST — the per-round software cost charged by the poll loop
+# below — is shared with the analytic models via repro.network.overheads
+# (see that module for the calibration story).
 
 
 def _pack(value: float) -> list[int]:

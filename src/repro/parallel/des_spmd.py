@@ -107,8 +107,10 @@ class _VIDemux:
             while True:
                 xfer = yield from niu.vi_serve_request()
                 xfer = yield from niu.vi_wait_complete(xfer.xid)
-                # transfer id encodes (round, direction) in its low bits
-                self.arrived[rank][(xfer.src, xfer.xid & 0xFFF)] = bytes(xfer.data)
+                # transfer id encodes (round, direction) in its low bits;
+                # timing-only transfers (repro.collectives) carry no rider
+                data = b"" if xfer.data is None else bytes(xfer.data)
+                self.arrived[rank][(xfer.src, xfer.xid & 0xFFF)] = data
                 self.signals[rank].fire()
 
         self.cluster.engine.process(

@@ -80,6 +80,7 @@ class LockstepRuntime:
         cpus_per_node: int = 1,
         machine: Optional[MachineModel] = None,
         record_timeline: bool = False,
+        tuner=None,
     ) -> None:
         if cpus_per_node < 1:
             raise ValueError("cpus_per_node must be >= 1")
@@ -88,6 +89,10 @@ class LockstepRuntime:
         self.decomp = decomp
         self.cost_model = cost_model or arctic_cost_model()
         self.cpus_per_node = cpus_per_node
+        #: Optional :class:`repro.collectives.Autotuner`: when set, global
+        #: sums and barriers are charged the tuned best-known collective's
+        #: analytic time instead of the measured-table gsum cost.
+        self.tuner = tuner
         self.machine = machine or MachineModel()
         self.n_ranks = decomp.n_ranks
         self.n_nodes = self.n_ranks // cpus_per_node
@@ -206,7 +211,10 @@ class LockstepRuntime:
     def global_sum(self, values: Sequence[float]) -> float:
         """All-reduce one scalar per rank; synchronizes every clock."""
         result = self._summer(values)
-        t_g = self.cost_model.gsum_time(self.n_nodes, smp=self.mixmode)
+        if self.tuner is not None:
+            t_g = self.tuner.allreduce_time(self.n_nodes, 8, smp=self.mixmode)
+        else:
+            t_g = self.cost_model.gsum_time(self.n_nodes, smp=self.mixmode)
         before = self.clocks.copy()
         now = float(before.max())
         self.clocks[:] = now + t_g
@@ -224,7 +232,10 @@ class LockstepRuntime:
 
     def barrier(self) -> None:
         """Synchronize clocks (costed like a dataless global sum)."""
-        t_b = self.cost_model.barrier_time(self.n_nodes)
+        if self.tuner is not None:
+            t_b = self.tuner.barrier_time(self.n_nodes)
+        else:
+            t_b = self.cost_model.barrier_time(self.n_nodes)
         t_start = self.elapsed
         self.clocks[:] = float(self.clocks.max()) + t_b
         if self.metrics is not None:

@@ -50,10 +50,6 @@ from repro.recover.membership import (
 from repro.parallel.tiling import RankMap
 from repro.sim import Signal
 
-#: Commit-protocol message kinds (low tag bit).
-_KIND_DONE = 0
-_KIND_COMMIT = 1
-
 
 @dataclass(frozen=True)
 class RecoveryConfig:
@@ -158,6 +154,7 @@ class RecoveryManager:
             counter = itertools.count(1)
             cluster._rel_channels = counter
         self._cid = next(counter)
+        self._barrier_plan = None
         self._stash: Dict[int, Dict[int, deque]] = {}
         self._signals: Dict[int, object] = {}
         self._consumers: set = set()
@@ -219,8 +216,27 @@ class RecoveryManager:
         return data
 
     @staticmethod
-    def _tag(src_rank: int, seq: int, kind: int) -> int:
-        return (src_rank << 10) | ((seq % 16) << 1) | kind
+    def _tag(src_rank: int, seq: int, round_i: int) -> int:
+        """16-bit reliable tag: rank (6 bits) | seq mod 8 | round (7 bits)."""
+        return (src_rank << 10) | ((seq % 8) << 7) | round_i
+
+    @property
+    def _barrier_schedule(self):
+        """Tuned commit-barrier schedule over the rank set.
+
+        Latency-critical (``Priority.HIGH``): the autotuner picks the
+        fewest-round barrier — dissemination (any N) or butterfly (2^k)
+        — replacing the old O(N) star DONE/COMMIT protocol."""
+        if self._barrier_plan is None:
+            from repro.collectives import default_tuner
+            from repro.network.packet import Priority
+
+            self._barrier_plan = default_tuner().plan(
+                "barrier", self.n_ranks, priority=Priority.HIGH
+            )
+            if self._barrier_plan.n_rounds >= 128:
+                raise ValueError("commit barrier needs round index < 128")
+        return self._barrier_plan.schedule
 
     # -- failure plumbing ------------------------------------------------
 
@@ -385,22 +401,19 @@ class RecoveryManager:
         if nbytes:
             yield engine.timeout(nbytes / self.config.disk_bandwidth)
         if self.n_ranks > 1:
-            if rank == 0:
-                for peer in range(1, self.n_ranks):
-                    yield from self._await(node, self._tag(peer, seq, _KIND_DONE))
-                for peer in range(1, self.n_ranks):
-                    yield from rniu.send(
-                        self.rankmap.node_of(peer),
-                        tag=self._tag(0, seq, _KIND_COMMIT),
-                        channel=self._cid,
-                    )
-            else:
-                yield from rniu.send(
-                    self.rankmap.node_of(0),
-                    tag=self._tag(rank, seq, _KIND_DONE),
-                    channel=self._cid,
-                )
-                yield from self._await(node, self._tag(0, seq, _KIND_COMMIT))
+            for round_i, rnd in enumerate(self._barrier_schedule.rounds):
+                for s in rnd:
+                    if s.src == rank:
+                        yield from rniu.send(
+                            self.rankmap.node_of(s.dst),
+                            tag=self._tag(rank, seq, round_i),
+                            channel=self._cid,
+                        )
+                for s in rnd:
+                    if s.dst == rank:
+                        yield from self._await(
+                            node, self._tag(s.src, seq, round_i)
+                        )
         done[rank] = True
 
     # -- recovery --------------------------------------------------------

@@ -13,6 +13,7 @@ from repro.parallel.globalsum import (
     GlobalSummer,
     butterfly_global_sum,
     butterfly_rounds,
+    canonical_fold_reduce,
     tree_reduce_broadcast,
 )
 
@@ -52,9 +53,23 @@ class TestButterflyAlgorithm:
         results, _ = butterfly_global_sum(vals)
         assert len({v.hex() for v in results}) == 1
 
-    def test_non_power_of_two_rejected(self):
-        with pytest.raises(ValueError):
-            butterfly_global_sum([1.0, 2.0, 3.0])
+    def test_non_power_of_two_folds(self):
+        """Extras fold onto the base group (pre/post rounds), and every
+        rank still finishes with the canonical bitwise-identical sum."""
+        rng = np.random.default_rng(11)
+        for n in (3, 5, 6, 7, 12, 13):
+            vals = rng.standard_normal(n).tolist()
+            results, _ = butterfly_global_sum(vals)
+            assert len({v.hex() for v in results}) == 1
+            assert results[0] == pytest.approx(math.fsum(vals), rel=1e-12)
+            assert results[0] == canonical_fold_reduce(vals)
+
+    def test_non_power_of_two_rounds_pattern(self):
+        rounds = butterfly_rounds(5)
+        # fold-in, 2 butterfly rounds over the base 4, fold-out
+        assert rounds[0] == [(4, 0)]
+        assert rounds[-1] == [(0, 4)]
+        assert len(rounds) == 4
 
     def test_single_value(self):
         results, trace = butterfly_global_sum([5.0])
@@ -82,6 +97,14 @@ class TestTreeBaseline:
         assert tr[0] == pytest.approx(bf[0])
         assert rounds == 8  # 2 log2 16: twice the butterfly's latency
 
+    def test_tree_bitwise_matches_butterfly_non_pow2(self):
+        rng = np.random.default_rng(3)
+        for n in (5, 11, 16):
+            vals = rng.standard_normal(n).tolist()
+            bf, _ = butterfly_global_sum(vals)
+            tr, _ = tree_reduce_broadcast(vals)
+            assert tr[0].hex() == bf[0].hex()
+
 
 class TestGlobalSummer:
     def test_flat_sum(self):
@@ -103,6 +126,21 @@ class TestGlobalSummer:
     def test_indivisible_ranks_rejected(self):
         with pytest.raises(ValueError):
             GlobalSummer(6, cpus_per_node=4)
+
+    def test_non_power_of_two_nodes_allowed(self):
+        gs = GlobalSummer(6)
+        vals = [float(i) for i in range(6)]
+        assert gs(vals) == pytest.approx(sum(vals))
+        # fold messages: m log2 m + 2 extras = 4*2 + 2*2
+        assert gs.message_count() == 12
+
+    def test_auto_algorithm_exposes_plan(self):
+        gs = GlobalSummer(16, algorithm="auto")
+        assert gs.plan is not None
+        assert gs.algorithm == gs.plan.algorithm
+        # doubleword sums at 16 nodes: the paper's butterfly must win
+        assert gs.algorithm == "butterfly"
+        assert gs([1.0] * 16) == pytest.approx(16.0)
 
 
 class TestDESGlobalSum:
