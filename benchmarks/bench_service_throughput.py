@@ -1,0 +1,132 @@
+"""Ensemble-service throughput: scenarios/hour through the full stack.
+
+Drives a real :class:`repro.service.EnsembleService` (journal, spool
+ingest, forked supervised workers) through a small OGCM parameter sweep
+plus one deliberately flaky member, and prices the durable queue itself
+(fsynced CRC-framed journal appends).  The scenarios/hour figure is the
+paper's Fig. 11 ensemble economics restated for the reproduction's
+tiny models: how fast the service can turn around independent scenario
+jobs while keeping every lifecycle transition crash-safe on disk.
+
+Emits ``BENCH_service.json``.
+"""
+
+import pathlib
+import tempfile
+import time
+
+from repro.service import (
+    EnsembleService,
+    JobQueue,
+    JobSpec,
+    Journal,
+    ServiceClient,
+    ServiceConfig,
+    SupervisorConfig,
+)
+
+from _emit import emit_bench
+from _tables import emit, format_table
+
+N_OCEAN = 10
+
+
+def sweep_specs():
+    specs = [
+        JobSpec(
+            kind="ocean",
+            name=f"bench-{i:02d}",
+            params={
+                "nx": 16, "ny": 8, "nz": 3, "dt": 1200.0, "steps": 8,
+                "perturb_seed": i, "perturb_amp": 0.01,
+            },
+        )
+        for i in range(N_OCEAN)
+    ]
+    specs.append(
+        JobSpec(kind="flaky", name="bench-flaky", params={"fails_before": 1})
+    )
+    return specs
+
+
+def run_ensemble():
+    """One drained sweep through the real service; returns the summary."""
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-service-"))
+    client = ServiceClient(root)
+    client.submit_many(sweep_specs())
+    config = ServiceConfig(
+        supervisor=SupervisorConfig(
+            max_workers=4, backoff_base_s=0.05, backoff_cap_s=0.2
+        )
+    )
+    service = EnsembleService(root, config)
+    service.startup()
+    summary = service.serve(drain=True, max_wall_s=120.0)
+    return summary, client.status()
+
+
+def journal_append_cost(n=200):
+    """Mean seconds per fsynced journal append (the durability tax)."""
+    root = pathlib.Path(tempfile.mkdtemp(prefix="repro-bench-journal-"))
+    journal = Journal(root / "journal.bin")
+    journal.open()
+    queue = JobQueue(journal)
+    queue.replay()
+    t0 = time.perf_counter()
+    for i in range(n):
+        queue.submit(JobSpec(kind="sleep", name=f"j{i}", params={"i": i}))
+    per_append = (time.perf_counter() - t0) / n
+    journal.close()
+    return per_append
+
+
+def test_bench_service_throughput(benchmark):
+    t0 = time.perf_counter()
+    summary, states = benchmark(run_ensemble)
+    wall = time.perf_counter() - t0
+
+    n_jobs = N_OCEAN + 1
+    assert summary["submitted"] == n_jobs
+    assert summary["completed"] == n_jobs, states
+    assert summary["quarantined"] == 0
+    assert summary["retries"] >= 1, "the flaky member must have retried"
+    digests = {s["job_id"]: s["digest"] for s in states.values()
+               if s["kind"] == "ocean"}
+    assert len(digests) == N_OCEAN and all(digests.values())
+
+    per_append = journal_append_cost()
+
+    emit(
+        "service_throughput",
+        format_table(
+            "ensemble service, drained sweep",
+            ["quantity", "value"],
+            [
+                ["jobs", str(n_jobs)],
+                ["completed", str(summary["completed"])],
+                ["retries", str(summary["retries"])],
+                ["scenarios/hour", f"{summary['scenarios_per_hour']:.0f}"],
+                ["journal append (us)", f"{per_append * 1e6:.0f}"],
+            ],
+        ),
+    )
+    emit_bench(
+        "service",
+        wall_clock_s=wall,
+        virtual_time_s=None,
+        model_error=None,
+        data={
+            "n_jobs": n_jobs,
+            "completed": summary["completed"],
+            "quarantined": summary["quarantined"],
+            "retries": summary["retries"],
+            "worker_kills": summary["worker_kills"],
+            "scenarios_per_hour": summary["scenarios_per_hour"],
+            "journal_append_us": per_append * 1e6,
+            "digests": digests,
+        },
+        units={
+            "scenarios_per_hour": "drained sweep jobs per wall-clock hour",
+            "journal_append_us": "mean fsynced CRC-framed append, usec",
+        },
+    )

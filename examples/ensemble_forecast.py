@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Ensemble forecast through the crash-safe scenario service.
+
+The paper's Fig. 11 economics — many independent scenario runs per day
+on one personal supercomputer — restated as a service workload: an
+8-member perturbed-initial-condition ocean ensemble is submitted
+asynchronously to :class:`repro.service.EnsembleService`, executed by
+supervised forked workers behind a crash-safe journal, and summarized.
+Every member's digest is a pure function of its spec, so a rerun (or a
+SIGKILL'd-and-resumed run) reproduces the spread bit-exactly.
+
+Run:  python examples/ensemble_forecast.py
+"""
+
+import tempfile
+
+from repro.service import EnsembleService, JobPriority, JobSpec, ServiceClient
+
+
+def main() -> None:
+    root = tempfile.mkdtemp(prefix="repro-ensemble-")
+    client = ServiceClient(root)
+
+    # 8 members: same ocean, perturbed initial temperature fields.
+    members = [
+        JobSpec(
+            kind="ocean",
+            name=f"member-{i:02d}",
+            params={
+                "nx": 16, "ny": 8, "nz": 3, "dt": 1200.0, "steps": 8,
+                "perturb_seed": i, "perturb_amp": 0.02,
+                "checkpoint_every": 4,
+            },
+            # the control member outranks the perturbed ones
+            priority=JobPriority.HIGH if i == 0 else JobPriority.NORMAL,
+        )
+        for i in range(8)
+    ]
+    ids = client.submit_many(members)
+    print(f"submitted {len(ids)} members to {root}")
+
+    service = EnsembleService(root)
+    service.startup()
+    summary = service.serve(drain=True, max_wall_s=120.0)
+
+    print("\nmember    status     attempts  state digest")
+    for job_id in ids:
+        s = client.status()[job_id]
+        print(f"{job_id:10s}{s['status']:11s}{s['attempts']:^8d}  {s['digest']}")
+    digests = {client.status()[j]["digest"] for j in ids}
+    print(f"\nensemble spread: {len(digests)} distinct end states "
+          f"from {len(ids)} members (perturbations matter, bit-exactly)")
+    print(f"throughput: {summary['scenarios_per_hour']:.0f} scenarios/hour; "
+          f"{summary['retries']} retries, {summary['quarantined']} quarantined")
+    assert summary["completed"] == len(ids)
+
+
+if __name__ == "__main__":
+    main()

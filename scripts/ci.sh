@@ -55,7 +55,12 @@ python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig02_logp.py \
   benchmarks/bench_fig08_globalsum.py \
   benchmarks/bench_fig09_coupled.py \
-  benchmarks/bench_collectives.py
+  benchmarks/bench_collectives.py \
+  benchmarks/bench_service_throughput.py
+
+echo
+echo "== chaos smoke (SIGKILL'd workers + service: nothing lost, bit-exact) =="
+python -m repro service --chaos --seed 0 --jobs 12 --workers 4 --max-wall 45
 
 echo
 echo "ci.sh: all checks passed"

@@ -22,6 +22,12 @@ Commands:
   the self-healing runtime detects it, rolls back to the last
   coordinated checkpoint and finishes bit-exact (``--no-recover``
   shows the structured failure instead).
+* ``service`` — the crash-safe ensemble scenario service.  By default
+  runs a small in-process sweep demo; ``--serve --dir D`` runs the
+  journal-backed serving loop on a root directory (``--drain`` exits
+  once every admitted job is terminal); ``--chaos`` runs the seeded
+  SIGKILL campaign against a real service subprocess and audits that
+  every job completed bit-exact or was explicitly quarantined.
 """
 
 from __future__ import annotations
@@ -306,6 +312,111 @@ def _cmd_collectives(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_config(args: argparse.Namespace):
+    from repro.service import ServiceConfig, SupervisorConfig
+
+    return ServiceConfig(
+        supervisor=SupervisorConfig(
+            max_workers=args.workers,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            deadline_s=args.deadline,
+            max_attempts=args.max_attempts,
+        )
+    )
+
+
+def _cmd_service(args: argparse.Namespace) -> int:
+    """Ensemble service: demo sweep, serving loop, or chaos campaign."""
+    import pathlib
+    import tempfile
+
+    if args.chaos:
+        from repro.service import ChaosConfig, run_chaos
+
+        root = pathlib.Path(
+            args.dir or tempfile.mkdtemp(prefix="repro-chaos-")
+        )
+        cfg = ChaosConfig(
+            seed=args.seed,
+            n_jobs=args.jobs,
+            workers=args.workers,
+            max_wall_s=args.max_wall if args.max_wall is not None else 120.0,
+            heartbeat_timeout_s=args.heartbeat_timeout,
+            deadline_s=args.deadline,
+            max_attempts=args.max_attempts,
+        )
+        print(f"chaos campaign in {root}")
+        report = run_chaos(root, cfg, echo=print)
+        print(report.render())
+        return 0 if report.ok else 1
+
+    if args.serve:
+        if not args.dir:
+            print("service --serve requires --dir", file=sys.stderr)
+            return 2
+        from repro.service import EnsembleService
+
+        service = EnsembleService(args.dir, _service_config(args))
+        found = service.startup()
+        print(
+            f"service up on {args.dir}: replayed {found['records']} journal "
+            f"records, killed {found['orphans_killed']} orphan workers, "
+            f"adopted {found['completions_adopted']} completions, "
+            f"requeued {found['requeued']} jobs"
+        )
+        summary = service.serve(drain=args.drain, max_wall_s=args.max_wall)
+        print(
+            f"served: {summary['completed']} completed, "
+            f"{summary['quarantined']} quarantined, {summary['shed']} shed, "
+            f"{summary['retries']} retries, {summary['worker_kills']} worker "
+            f"kills ({summary['scenarios_per_hour']:.0f} scenarios/hour)"
+        )
+        return 0
+
+    # default: a small in-process ensemble demo (Fig. 11-style sweep)
+    from repro.service import (
+        EnsembleService,
+        JobSpec,
+        ServiceClient,
+    )
+
+    root = pathlib.Path(args.dir or tempfile.mkdtemp(prefix="repro-service-"))
+    client = ServiceClient(root)
+    n = max(2, min(args.jobs, 12))
+    print(f"demo: {n}-member OGCM parameter sweep in {root}")
+    for i in range(n):
+        client.submit(
+            JobSpec(
+                kind="ocean",
+                name=f"sweep-{i:02d}",
+                params={
+                    "nx": 16,
+                    "ny": 8,
+                    "nz": 3,
+                    "dt": 1200.0,
+                    "steps": 8,
+                    "perturb_seed": i,
+                    "perturb_amp": 0.01,
+                    "checkpoint_every": 4,
+                },
+            )
+        )
+    service = EnsembleService(root, _service_config(args))
+    service.startup()
+    summary = service.serve(drain=True, max_wall_s=args.max_wall)
+    for job_id, state in sorted(client.status().items()):
+        print(
+            f"  {job_id:12s} {state['status']:11s} "
+            f"attempts={state['attempts']} digest={state['digest']}"
+        )
+    print(
+        f"done: {summary['completed']} completed, "
+        f"{summary['quarantined']} quarantined "
+        f"({summary['scenarios_per_hour']:.0f} scenarios/hour)"
+    )
+    return 0 if summary["completed"] == n else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -319,7 +430,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sections",
         nargs="*",
         help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 collectives telemetry "
-        "faults recovery",
+        "faults recovery service",
     )
     p_report.set_defaults(func=_cmd_report)
 
@@ -428,6 +539,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="replay the winning schedule on the DES cluster (N<=16)",
     )
     p_coll.set_defaults(func=_cmd_collectives)
+
+    p_svc = sub.add_parser(
+        "service", help="crash-safe ensemble scenario service"
+    )
+    p_svc.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the journal-backed serving loop on --dir",
+    )
+    p_svc.add_argument(
+        "--chaos",
+        action="store_true",
+        help="seeded SIGKILL campaign (workers + service) with a "
+        "bit-exactness audit",
+    )
+    p_svc.add_argument("--dir", default=None, help="service root directory")
+    p_svc.add_argument(
+        "--workers", type=int, default=4, help="worker pool size"
+    )
+    p_svc.add_argument(
+        "--drain",
+        action="store_true",
+        help="exit once every admitted job is terminal (batch mode)",
+    )
+    p_svc.add_argument(
+        "--heartbeat-timeout",
+        type=float,
+        default=5.0,
+        help="seconds without a worker heartbeat before it is killed",
+    )
+    p_svc.add_argument(
+        "--deadline",
+        type=float,
+        default=120.0,
+        help="wall-clock seconds one attempt may run",
+    )
+    p_svc.add_argument(
+        "--max-attempts",
+        type=int,
+        default=5,
+        help="attempts before a job is quarantined",
+    )
+    p_svc.add_argument("--seed", type=int, default=0, help="chaos RNG seed")
+    p_svc.add_argument(
+        "--jobs", type=int, default=50, help="ensemble size (chaos/demo)"
+    )
+    p_svc.add_argument(
+        "--max-wall",
+        type=float,
+        default=None,
+        help="wall-clock budget in seconds (chaos default: 120)",
+    )
+    p_svc.set_defaults(func=_cmd_service)
 
     p_century = sub.add_parser("century", help="the Section 6 century projection")
     p_century.set_defaults(func=_cmd_century)

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import pathlib
+import warnings
 import zipfile
 import zlib
 from typing import Optional, Union
@@ -49,6 +50,11 @@ _REQUIRED_KEYS = ("version", "time", "step_count", "first_step", "nx", "ny", "nz
 class CheckpointError(ValueError):
     """A checkpoint could not be written or restored: wrong version,
     truncated/corrupt archive, checksum mismatch, or missing fields."""
+
+
+class CheckpointWarning(UserWarning):
+    """A damaged checkpoint was skipped during auto-resume; recovery
+    fell back to the previous complete one instead of raising."""
 
 
 def _payload_checksum(payload: dict) -> int:
@@ -345,24 +351,39 @@ def load_state_shard(
     }
 
 
+def _mtime_or_zero(path: pathlib.Path) -> float:
+    """A sort key that survives a file vanishing mid-scan (a dead
+    writer's ``*.tmp`` being reaped, a concurrent cleanup)."""
+    try:
+        return path.stat().st_mtime
+    except OSError:
+        return 0.0
+
+
 def find_latest_good(
     directory: Union[str, pathlib.Path], pattern: str = "*.npz"
 ) -> Optional[pathlib.Path]:
     """The newest checkpoint in ``directory`` that passes verification.
 
-    Corrupt, truncated or foreign archives are skipped (newest first),
-    so a run killed mid-save resumes from the last good state.
+    Corrupt, truncated or foreign archives — e.g. the torn droppings of
+    a writer that died mid-save — are skipped **with a warning**
+    (newest first), so a run killed mid-save resumes from the last
+    complete state instead of raising over the damage.
     """
     directory = pathlib.Path(directory)
     if not directory.is_dir():
         return None
-    candidates = sorted(
-        directory.glob(pattern), key=lambda p: p.stat().st_mtime, reverse=True
-    )
+    candidates = sorted(directory.glob(pattern), key=_mtime_or_zero, reverse=True)
     for cand in candidates:
         try:
             verify_checkpoint(cand)
-        except CheckpointError:
+        except CheckpointError as exc:
+            warnings.warn(
+                f"skipping damaged checkpoint {cand.name}: {exc}; "
+                "falling back to the previous complete checkpoint",
+                CheckpointWarning,
+                stacklevel=2,
+            )
             continue
         return cand
     return None
@@ -374,7 +395,8 @@ def resume_latest(
     """Restore ``model`` from the newest good checkpoint in ``directory``.
 
     Returns the checkpoint path, or None when no good checkpoint exists
-    (the model is left untouched).
+    (the model is left untouched).  Damaged candidates — a torn archive
+    from a dead writer — are warned about and skipped, never raised.
     """
     path = find_latest_good(directory, pattern)
     if path is None:

@@ -125,6 +125,56 @@ def validate_bench(record: dict) -> list[str]:
 
 
 # ---------------------------------------------------------------------------
+# Ensemble-service status records
+# ---------------------------------------------------------------------------
+
+#: Schema of the ensemble service's ``status.json`` snapshot
+#: (:meth:`repro.service.metrics.ServiceMetrics.summary`): queue depth,
+#: pool activity, the retry/quarantine/shed tallies and throughput.
+SERVICE_SUMMARY_SCHEMA: dict = {
+    "type": "object",
+    "required": [
+        "schema_version",
+        "kind",
+        "queue_depth",
+        "running",
+        "submitted",
+        "completed",
+        "quarantined",
+        "shed",
+        "retries",
+        "worker_kills",
+        "restarts",
+        "scenarios_per_hour",
+        "wall_clock_s",
+    ],
+    "additionalProperties": False,
+    "properties": {
+        "schema_version": {"type": "integer", "minimum": 1},
+        "kind": {"enum": ["service_summary"]},
+        "queue_depth": {"type": "integer", "minimum": 0},
+        "running": {"type": "integer", "minimum": 0},
+        "submitted": {"type": "integer", "minimum": 0},
+        "completed": {"type": "integer", "minimum": 0},
+        "quarantined": {"type": "integer", "minimum": 0},
+        "shed": {"type": "integer", "minimum": 0},
+        "retries": {"type": "integer", "minimum": 0},
+        "worker_kills": {"type": "integer", "minimum": 0},
+        "workers_spawned": {"type": "integer", "minimum": 0},
+        "duplicate_submits": {"type": "integer", "minimum": 0},
+        "restarts": {"type": "integer", "minimum": 0},
+        "scenarios_per_hour": {"type": "number", "minimum": 0},
+        "wall_clock_s": {"type": "number", "minimum": 0},
+    },
+}
+
+
+def validate_service_summary(record: dict) -> list[str]:
+    """Errors in a service status record (empty when valid)."""
+    return validate(record, SERVICE_SUMMARY_SCHEMA)
+
+
+# ---------------------------------------------------------------------------
 # Chrome trace-event JSON
 # ---------------------------------------------------------------------------
 

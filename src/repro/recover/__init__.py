@@ -37,7 +37,11 @@ from repro.recover.membership import (
     NodeFailure,
     UnrecoverableError,
 )
-from repro.recover.checkpoint import CoordinatedCheckpointStore
+from repro.recover.checkpoint import (
+    CheckpointLockTimeout,
+    CoordinatedCheckpointStore,
+    FileLock,
+)
 from repro.recover.manager import RecoveryConfig, RecoveryManager
 
 __all__ = [
@@ -46,7 +50,9 @@ __all__ = [
     "Membership",
     "NodeFailure",
     "UnrecoverableError",
+    "CheckpointLockTimeout",
     "CoordinatedCheckpointStore",
+    "FileLock",
     "RecoveryConfig",
     "RecoveryManager",
 ]

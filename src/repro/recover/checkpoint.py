@@ -31,17 +31,132 @@ from __future__ import annotations
 import json
 import os
 import pathlib
+import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from repro.gcm.checkpoint import (
     CheckpointError,
+    CheckpointWarning,
     load_state_shard,
     save_state_shard,
 )
 
 MANIFEST_NAME = "MANIFEST.json"
 MANIFEST_VERSION = 1
+LOCK_NAME = ".ckpt.lock"
+
+
+class CheckpointLockTimeout(CheckpointError):
+    """The shard-store advisory lock could not be acquired in time."""
+
+
+class FileLock:
+    """Advisory inter-process lock on one path (reentrant per instance).
+
+    Two processes checkpointing the same run directory must not
+    interleave shard writes with a MANIFEST commit.  ``flock`` is used
+    where available (conflicts apply across *and within* a process,
+    since each instance opens its own file description); platforms
+    without ``fcntl`` fall back to an ``O_CREAT|O_EXCL`` lockfile with
+    stale-lock breaking, which gives the same mutual exclusion for
+    cooperating processes.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, pathlib.Path],
+        timeout_s: float = 10.0,
+        poll_s: float = 0.01,
+        stale_s: float = 60.0,
+    ) -> None:
+        self.path = pathlib.Path(path)
+        self.timeout_s = timeout_s
+        self.poll_s = poll_s
+        self.stale_s = stale_s
+        self._fd: Optional[int] = None
+        self._depth = 0
+
+    def acquire(self) -> None:
+        """Take the lock, polling up to ``timeout_s``; raises
+        :class:`CheckpointLockTimeout` if another holder keeps it."""
+        if self._depth > 0:
+            self._depth += 1
+            return
+        try:
+            import fcntl
+        except ImportError:
+            fcntl = None
+        deadline = time.monotonic() + self.timeout_s
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        if fcntl is not None:
+            fd = os.open(self.path, os.O_CREAT | os.O_RDWR)
+            while True:
+                try:
+                    fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    break
+                except OSError:
+                    if time.monotonic() > deadline:
+                        os.close(fd)
+                        raise CheckpointLockTimeout(
+                            f"could not lock {self.path} within "
+                            f"{self.timeout_s}s (another checkpointer holds it)"
+                        ) from None
+                    time.sleep(self.poll_s)
+            self._fd = fd
+        else:  # pragma: no cover - non-POSIX fallback
+            while True:
+                try:
+                    fd = os.open(self.path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                    os.write(fd, str(os.getpid()).encode())
+                    self._fd = fd
+                    break
+                except FileExistsError:
+                    try:
+                        if time.time() - self.path.stat().st_mtime > self.stale_s:
+                            self.path.unlink()
+                            continue
+                    except OSError:
+                        pass
+                    if time.monotonic() > deadline:
+                        raise CheckpointLockTimeout(
+                            f"could not lock {self.path} within {self.timeout_s}s"
+                        ) from None
+                    time.sleep(self.poll_s)
+        self._depth = 1
+
+    def release(self) -> None:
+        """Drop one level of the (reentrant) hold; the outermost release
+        unlocks the file."""
+        if self._depth == 0:
+            return
+        self._depth -= 1
+        if self._depth > 0:
+            return
+        fd, self._fd = self._fd, None
+        if fd is not None:
+            try:
+                import fcntl
+
+                fcntl.flock(fd, fcntl.LOCK_UN)
+            except ImportError:  # pragma: no cover - O_EXCL fallback
+                try:
+                    self.path.unlink()
+                except OSError:
+                    pass
+            os.close(fd)
+
+    @property
+    def held(self) -> bool:
+        return self._depth > 0
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
 
 
 @dataclass
@@ -78,9 +193,18 @@ class CoordinatedCheckpointStore:
     the checkpoint never becomes visible.
     """
 
-    def __init__(self, directory: Union[str, pathlib.Path]) -> None:
+    def __init__(
+        self,
+        directory: Union[str, pathlib.Path],
+        lock_timeout_s: float = 10.0,
+    ) -> None:
         self.directory = pathlib.Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        #: advisory inter-process lock: two processes checkpointing the
+        #: same run directory cannot interleave shard writes with a
+        #: manifest commit (the lock is reentrant, so one holder may
+        #: span write_shards + commit via :meth:`checkpoint`).
+        self.lock = FileLock(self.directory / LOCK_NAME, timeout_s=lock_timeout_s)
 
     # -- write side ------------------------------------------------------
 
@@ -91,18 +215,19 @@ class CoordinatedCheckpointStore:
         state is at the window boundary.  Re-writing an uncommitted (or
         even committed) window simply overwrites its shards.
         """
-        ckpt_dir = self.directory / f"ckpt-w{window:06d}"
-        ckpt_dir.mkdir(parents=True, exist_ok=True)
-        stale = ckpt_dir / MANIFEST_NAME
-        if stale.exists():
-            stale.unlink()  # re-writing: invalidate until re-committed
-        record = CheckpointRecord(window=window, directory=ckpt_dir)
-        for comp, model in sorted(models.items()):
-            for rank in range(model.decomp.n_ranks):
-                name = _shard_name(comp, rank)
-                path, nbytes = save_state_shard(model, rank, ckpt_dir / name)
-                record.shards[name] = {"nbytes": nbytes}
-        return record
+        with self.lock:
+            ckpt_dir = self.directory / f"ckpt-w{window:06d}"
+            ckpt_dir.mkdir(parents=True, exist_ok=True)
+            stale = ckpt_dir / MANIFEST_NAME
+            if stale.exists():
+                stale.unlink()  # re-writing: invalidate until re-committed
+            record = CheckpointRecord(window=window, directory=ckpt_dir)
+            for comp, model in sorted(models.items()):
+                for rank in range(model.decomp.n_ranks):
+                    name = _shard_name(comp, rank)
+                    path, nbytes = save_state_shard(model, rank, ckpt_dir / name)
+                    record.shards[name] = {"nbytes": nbytes}
+            return record
 
     def commit(self, record: CheckpointRecord) -> pathlib.Path:
         """Publish the manifest; the checkpoint becomes restorable."""
@@ -111,19 +236,30 @@ class CoordinatedCheckpointStore:
             "window": record.window,
             "shards": record.shards,
         }
-        path = record.directory / MANIFEST_NAME
-        tmp = path.with_name(path.name + ".tmp")
-        try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(manifest, fh, indent=1, sort_keys=True)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, path)
-        finally:
-            if tmp.exists():
-                tmp.unlink()
+        with self.lock:
+            path = record.directory / MANIFEST_NAME
+            tmp = path.with_name(path.name + ".tmp")
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(manifest, fh, indent=1, sort_keys=True)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            finally:
+                if tmp.exists():
+                    tmp.unlink()
         record.committed = True
         return path
+
+    def checkpoint(
+        self, models: Dict[str, object], window: int
+    ) -> CheckpointRecord:
+        """Write and commit one coordinated checkpoint under a single
+        lock hold, so no other checkpointer can interleave."""
+        with self.lock:
+            record = self.write_shards(models, window)
+            self.commit(record)
+        return record
 
     # -- read side -------------------------------------------------------
 
@@ -136,17 +272,26 @@ class CoordinatedCheckpointStore:
                 manifest = json.load(fh)
         except (OSError, json.JSONDecodeError) as exc:
             raise CheckpointError(f"manifest {path} unreadable: {exc}") from exc
+        if not isinstance(manifest, dict):
+            raise CheckpointError(f"manifest {path} is not a JSON object")
         if manifest.get("manifest_version") != MANIFEST_VERSION:
             raise CheckpointError(
                 f"manifest {path} has unsupported version "
                 f"{manifest.get('manifest_version')}"
             )
-        record = CheckpointRecord(
-            window=int(manifest["window"]),
-            directory=ckpt_dir,
-            shards=dict(manifest["shards"]),
-            committed=True,
-        )
+        try:
+            record = CheckpointRecord(
+                window=int(manifest["window"]),
+                directory=ckpt_dir,
+                shards=dict(manifest["shards"]),
+                committed=True,
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            # a torn/partial manifest from a dead writer may be valid
+            # JSON and still miss (or mangle) required keys
+            raise CheckpointError(
+                f"manifest {path} is torn or malformed: {exc!r}"
+            ) from exc
         for name in record.shards:
             if not (ckpt_dir / name).exists():
                 raise CheckpointError(f"manifest {path} names missing shard {name}")
@@ -155,9 +300,13 @@ class CoordinatedCheckpointStore:
     def latest_good(self) -> Optional[CheckpointRecord]:
         """The newest *committed* checkpoint whose manifest verifies.
 
-        Uncommitted directories (crash mid-checkpoint) and unreadable
-        manifests are skipped — shard payloads themselves re-verify
-        their CRCs at :meth:`restore` time.
+        Uncommitted directories (crash mid-checkpoint) are skipped
+        silently; a directory whose manifest *exists* but is torn,
+        malformed or incomplete (a dead writer's droppings) is skipped
+        **with a warning** and the previous complete checkpoint is used
+        instead — recovery never raises over damage it can route
+        around.  Shard payloads re-verify their CRCs at
+        :meth:`restore` time.
         """
         candidates = sorted(self.directory.glob("ckpt-w*"), reverse=True)
         for ckpt_dir in candidates:
@@ -165,7 +314,14 @@ class CoordinatedCheckpointStore:
                 continue
             try:
                 return self._load_record(ckpt_dir)
-            except CheckpointError:
+            except CheckpointError as exc:
+                if (ckpt_dir / MANIFEST_NAME).exists():
+                    warnings.warn(
+                        f"skipping damaged checkpoint {ckpt_dir.name}: {exc}; "
+                        "falling back to the previous complete checkpoint",
+                        CheckpointWarning,
+                        stacklevel=2,
+                    )
                 continue
         return None
 

@@ -1,0 +1,64 @@
+"""Graceful degradation under resource pressure.
+
+When the backlog outgrows what the pool can plausibly serve, the
+service degrades *predictably* instead of collapsing: LOW-priority
+pending jobs are shed (journaled as ``shed``, a terminal state the
+submitter can observe) until the backlog fits again.  NORMAL and HIGH
+jobs are never shed — pressure only ever costs the traffic class that
+opted into being droppable, mirroring the Arctic fabric's two-priority
+contract (HIGH traffic is never blocked by LOW).
+
+Shedding picks the *newest* LOW jobs first: older submissions have
+waited longest and are closest to being served, so dropping the newest
+minimizes wasted queueing work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from .jobs import JobPriority, JobStatus
+from .queue import JobQueue
+
+
+@dataclass
+class DegradeConfig:
+    """Backlog ceiling; ``None`` disables shedding entirely."""
+
+    max_pending: int = 1000
+
+
+def shed_excess(queue: JobQueue, config: DegradeConfig, metrics=None) -> List[str]:
+    """Shed newest LOW-priority pending jobs while the backlog exceeds
+    ``max_pending``; returns the shed job ids (possibly empty)."""
+    if config is None or config.max_pending is None:
+        return []
+    shed: List[str] = []
+    while True:
+        pending = queue.pending()
+        if len(pending) <= config.max_pending:
+            break
+        low = [s for s in pending if s.spec.priority == JobPriority.LOW]
+        if not low:
+            break  # only LOW is droppable; an over-full NORMAL/HIGH
+            # backlog rides it out
+        victim = max(low, key=lambda s: s.submit_seq)
+        queue.mark_shed(
+            victim.job_id,
+            f"load shed: {len(pending)} pending > cap {config.max_pending}",
+        )
+        shed.append(victim.job_id)
+        if metrics is not None:
+            metrics.count("shed")
+    return shed
+
+
+def pressure(queue: JobQueue, config: DegradeConfig) -> float:
+    """Backlog pressure in [0, inf): pending / cap (0 when uncapped)."""
+    if config is None or not config.max_pending:
+        return 0.0
+    return len(queue.pending()) / float(config.max_pending)
+
+
+__all__ = ["DegradeConfig", "shed_excess", "pressure", "JobStatus"]

@@ -1,0 +1,254 @@
+"""Worker supervision: liveness, deadlines, retry/backoff, quarantine.
+
+The supervisor owns the worker pool.  Each job attempt runs in its own
+forked process (:func:`repro.service.worker.worker_main`); the
+supervisor journals the ``start``, then watches three failure channels:
+
+* **exit** — the process died.  A valid ``result.json`` means success
+  (even if the exit itself was messy); an ``error.json`` means a caught
+  failure with a traceback; neither means the worker was killed
+  (SIGKILL, OOM) mid-run.
+* **wedge** — the process is alive but its heartbeat file has gone
+  stale past ``heartbeat_timeout_s``.  The supervisor SIGKILLs it —
+  a wedged worker must never wedge the pool.
+* **deadline** — wall-clock overrun past ``deadline_s``, beats or not.
+
+Failed attempts reschedule with capped exponential backoff plus
+deterministic jitter (seeded from job id and attempt, so a replayed
+run schedules identically).  A job that fails ``max_attempts`` times is
+*quarantined* with its captured traceback: the poison list absorbs it
+instead of letting it poison the pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import signal
+import time
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .jobs import JobState
+from .queue import JobQueue
+from .worker import (
+    HEARTBEAT_NAME,
+    PID_NAME,
+    read_error,
+    read_result,
+    worker_main,
+)
+
+
+@dataclass
+class SupervisorConfig:
+    """Pool size, liveness thresholds and the retry policy."""
+
+    max_workers: int = 4
+    #: seconds without a heartbeat before a live worker is declared wedged.
+    heartbeat_timeout_s: float = 5.0
+    #: hard wall-clock ceiling per attempt.
+    deadline_s: float = 120.0
+    #: attempts before a job is quarantined.
+    max_attempts: int = 5
+    backoff_base_s: float = 0.1
+    backoff_cap_s: float = 2.0
+    #: jitter fraction on top of the exponential delay (0.25 = up to +25%).
+    backoff_jitter: float = 0.25
+
+
+def backoff_delay(job_id: str, attempt: int, cfg: SupervisorConfig) -> float:
+    """Capped exponential backoff with deterministic per-(job, attempt)
+    jitter, so two service incarnations compute the same schedule."""
+    base = min(cfg.backoff_base_s * (2.0 ** max(attempt - 1, 0)), cfg.backoff_cap_s)
+    u = (zlib.crc32(f"{job_id}:{attempt}".encode()) & 0xFFFFFFFF) / 2**32
+    return base * (1.0 + cfg.backoff_jitter * u)
+
+
+@dataclass
+class WorkerHandle:
+    """One live attempt: the process plus its on-disk evidence trail."""
+
+    job_id: str
+    attempt: int
+    process: multiprocessing.process.BaseProcess
+    job_dir: pathlib.Path
+    started_mono: float
+    last_beat_mono: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.last_beat_mono = self.started_mono
+
+    def heartbeat_age(self, now: float) -> float:
+        """Seconds since the worker last proved liveness."""
+        try:
+            mtime = (self.job_dir / HEARTBEAT_NAME).stat().st_mtime
+        except OSError:
+            return now - self.last_beat_mono
+        # Map the wall-clock mtime onto the monotonic axis conservatively:
+        # a beat newer than the last one we saw resets the age.
+        age_wall = time.time() - mtime
+        age_mono = now - self.last_beat_mono
+        age = min(max(age_wall, 0.0), age_mono)
+        self.last_beat_mono = now - age
+        return age
+
+    def runtime(self, now: float) -> float:
+        """Seconds this attempt has been running as of monotonic ``now``."""
+        return now - self.started_mono
+
+
+class Supervisor:
+    """Spawns, watches and reaps worker processes for a job queue."""
+
+    def __init__(
+        self,
+        queue: JobQueue,
+        jobs_root: pathlib.Path,
+        config: Optional[SupervisorConfig] = None,
+        metrics=None,
+    ) -> None:
+        self.queue = queue
+        self.jobs_root = pathlib.Path(jobs_root)
+        self.config = config or SupervisorConfig()
+        self.metrics = metrics
+        self.running: Dict[str, WorkerHandle] = {}
+        # fork keeps worker startup at milliseconds (the service already
+        # has numpy and the model code paged in); fall back where the
+        # platform has no fork.
+        methods = multiprocessing.get_all_start_methods()
+        self._ctx = multiprocessing.get_context(
+            "fork" if "fork" in methods else "spawn"
+        )
+
+    # -- spawning --------------------------------------------------------
+
+    def free_slots(self) -> int:
+        """How many more workers may be spawned right now."""
+        return max(self.config.max_workers - len(self.running), 0)
+
+    def job_dir(self, job_id: str) -> pathlib.Path:
+        """The per-job working directory under the jobs root."""
+        return self.jobs_root / job_id
+
+    def spawn(self, state: JobState) -> WorkerHandle:
+        """Start the next attempt of ``state`` in a fresh process."""
+        job_id = state.job_id
+        attempt = state.attempts + 1
+        job_dir = self.job_dir(job_id)
+        job_dir.mkdir(parents=True, exist_ok=True)
+        self.queue.mark_started(job_id, attempt)
+        process = self._ctx.Process(
+            target=worker_main,
+            args=(state.spec.to_dict(), str(job_dir), attempt),
+            name=f"repro-worker-{job_id}-a{attempt}",
+        )
+        process.start()
+        (job_dir / PID_NAME).write_text(str(process.pid))
+        handle = WorkerHandle(
+            job_id=job_id,
+            attempt=attempt,
+            process=process,
+            job_dir=job_dir,
+            started_mono=time.monotonic(),
+        )
+        self.running[job_id] = handle
+        if self.metrics is not None:
+            self.metrics.count("workers_spawned")
+        return handle
+
+    # -- polling ---------------------------------------------------------
+
+    def poll(self, now: Optional[float] = None) -> List[dict]:
+        """One supervision pass; returns the lifecycle events it caused."""
+        now = time.monotonic() if now is None else now
+        events: List[dict] = []
+        for handle in list(self.running.values()):
+            if not handle.process.is_alive():
+                events.append(self._reap(handle))
+                continue
+            if handle.heartbeat_age(now) > self.config.heartbeat_timeout_s:
+                events.append(self._kill(handle, "wedged (heartbeat stale)"))
+            elif handle.runtime(now) > self.config.deadline_s:
+                events.append(self._kill(handle, "deadline exceeded"))
+        return events
+
+    def _kill(self, handle: WorkerHandle, why: str) -> dict:
+        try:
+            os.kill(handle.process.pid, signal.SIGKILL)
+        except (OSError, TypeError):
+            pass
+        handle.process.join(timeout=5.0)
+        if self.metrics is not None:
+            self.metrics.count("worker_kills")
+        return self._reap(handle, killed_because=why)
+
+    def _reap(self, handle: WorkerHandle, killed_because: Optional[str] = None) -> dict:
+        """Classify a finished attempt and journal the outcome."""
+        handle.process.join(timeout=5.0)
+        self.running.pop(handle.job_id, None)
+        pid_file = handle.job_dir / PID_NAME
+        if pid_file.exists():
+            pid_file.unlink()
+
+        result = read_result(handle.job_dir, handle.job_id)
+        if result is not None:
+            self.queue.mark_completed(
+                handle.job_id,
+                result.get("digest"),
+                attempt=handle.attempt,
+                steps=result.get("steps"),
+                resumed_from_step=result.get("resumed_from_step", 0),
+            )
+            if self.metrics is not None:
+                self.metrics.count("completed")
+            return {"event": "completed", "job_id": handle.job_id}
+
+        error = read_error(handle.job_dir)
+        if killed_because is not None:
+            reason = killed_because
+        elif error is not None:
+            reason = f"{error.get('error_type')}: {error.get('error')}"
+        else:
+            code = handle.process.exitcode
+            reason = f"worker died without a result (exit code {code})"
+        return self._retry_or_quarantine(handle, reason, error)
+
+    def _retry_or_quarantine(
+        self, handle: WorkerHandle, reason: str, error: Optional[dict]
+    ) -> dict:
+        job_id, attempt = handle.job_id, handle.attempt
+        if attempt >= self.config.max_attempts:
+            self.queue.mark_quarantined(
+                job_id,
+                f"failed {attempt} attempts; last: {reason}",
+                traceback=(error or {}).get("traceback"),
+            )
+            if self.metrics is not None:
+                self.metrics.count("quarantined")
+            return {"event": "quarantined", "job_id": job_id, "reason": reason}
+        delay = backoff_delay(job_id, attempt, self.config)
+        self.queue.mark_failed(job_id, attempt, reason, time.monotonic() + delay)
+        if self.metrics is not None:
+            self.metrics.count("retries")
+        return {
+            "event": "retry",
+            "job_id": job_id,
+            "attempt": attempt,
+            "delay_s": delay,
+            "reason": reason,
+        }
+
+    # -- teardown --------------------------------------------------------
+
+    def kill_all(self) -> None:
+        """SIGKILL every live worker (service shutdown path)."""
+        for handle in list(self.running.values()):
+            try:
+                os.kill(handle.process.pid, signal.SIGKILL)
+            except (OSError, TypeError):
+                pass
+            handle.process.join(timeout=5.0)
+        self.running.clear()

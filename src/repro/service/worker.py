@@ -1,0 +1,244 @@
+"""Worker-side job execution (runs in a forked worker process).
+
+A worker runs exactly one job attempt and leaves its whole story on
+disk, so the supervisor can reconstruct what happened even if either
+side is SIGKILL'd:
+
+* ``heartbeat`` — touched between model steps; the supervisor declares
+  a worker wedged when the file goes stale past the liveness timeout
+  (the beat comes from the *work loop*, not a side thread, so a worker
+  stuck in compute genuinely reads as wedged);
+* ``ckpt/`` — a :class:`~repro.recover.CoordinatedCheckpointStore` of
+  CRC'd shards written every ``checkpoint_every`` steps; a killed
+  attempt resumes from the latest committed shard set instead of
+  restarting from step 0;
+* ``result.json`` — written atomically on success (tmp + rename), with
+  the bit-exact state digest; its presence *is* the completion signal,
+  so a completion can be adopted after a service crash;
+* ``error.json`` — the captured traceback of a failed attempt (the
+  evidence a quarantine records).
+
+Determinism contract: for every kind, the result digest depends only on
+the :class:`~repro.service.jobs.JobSpec` — never on the attempt number,
+resume point or timing — except ``flaky``, which *deliberately* fails
+its first ``fails_before`` attempts to exercise the retry path.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import time
+import traceback
+from typing import Callable, Optional
+
+from .jobs import JobSpec, model_digest
+
+HEARTBEAT_NAME = "heartbeat"
+RESULT_NAME = "result.json"
+ERROR_NAME = "error.json"
+PID_NAME = "worker.pid"
+CKPT_DIR_NAME = "ckpt"
+
+
+def write_json_atomic(path: pathlib.Path, obj: dict) -> None:
+    """tmp + fsync + rename, so a reader never sees a half-written file."""
+    tmp = path.with_name(path.name + f".tmp{os.getpid()}")
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(obj, fh, indent=1, sort_keys=True)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def _beat(job_dir: Optional[pathlib.Path]) -> None:
+    if job_dir is not None:
+        with open(job_dir / HEARTBEAT_NAME, "w") as fh:
+            fh.write(repr(time.time()))
+
+
+def _spec_digest(spec: JobSpec) -> str:
+    import hashlib
+
+    canon = json.dumps({"kind": spec.kind, "params": spec.params}, sort_keys=True)
+    return hashlib.sha1(canon.encode()).hexdigest()[:16]
+
+
+# ---------------------------------------------------------------------------
+# Job kinds
+# ---------------------------------------------------------------------------
+
+
+def _run_ocean(
+    spec: JobSpec, job_dir: Optional[pathlib.Path], beat: Callable[[], None]
+) -> dict:
+    """A small OGCM scenario: the service's real unit of work.
+
+    Parameters (all optional): ``nx ny nz px py dt steps`` for the
+    configuration, ``perturb_seed``/``perturb_amp`` for a deterministic
+    initial-condition perturbation (ensemble members), and
+    ``checkpoint_every`` steps between coordinated shard checkpoints.
+    """
+    import numpy as np
+
+    from repro.gcm.ocean import ocean_model
+    from repro.recover import CoordinatedCheckpointStore
+
+    p = spec.params
+    steps = int(p.get("steps", 8))
+    model = ocean_model(
+        nx=int(p.get("nx", 16)),
+        ny=int(p.get("ny", 8)),
+        nz=int(p.get("nz", 3)),
+        px=int(p.get("px", 1)),
+        py=int(p.get("py", 1)),
+        dt=float(p.get("dt", 1200.0)),
+    )
+    amp = float(p.get("perturb_amp", 0.0))
+    if amp:
+        rng = np.random.default_rng(int(p.get("perturb_seed", 0)))
+        theta = model.state.to_global("theta")
+        theta = theta + amp * rng.standard_normal(theta.shape)
+        model.initialize(theta=theta, tracer=model.state.to_global("tracer"))
+    beat()
+
+    store = None
+    resumed_from = 0
+    ckpt_every = int(p.get("checkpoint_every", 4))
+    if job_dir is not None and ckpt_every > 0:
+        store = CoordinatedCheckpointStore(job_dir / CKPT_DIR_NAME)
+        latest = store.latest_good()
+        if latest is not None:
+            store.restore({"ocn": model}, latest)
+            resumed_from = model.state.step_count
+    while model.state.step_count < steps:
+        model.step()
+        beat()
+        done = model.state.step_count
+        if store is not None and done < steps and done % ckpt_every == 0:
+            store.checkpoint({"ocn": model}, window=done)
+            beat()
+    return {
+        "digest": model_digest(model),
+        "steps": model.state.step_count,
+        "resumed_from_step": resumed_from,
+    }
+
+
+def _run_sleep(
+    spec: JobSpec, job_dir: Optional[pathlib.Path], beat: Callable[[], None]
+) -> dict:
+    """Cheap synthetic scenario: sleep in heartbeat-sized slices."""
+    total = float(spec.params.get("sleep_s", 0.05))
+    slice_s = float(spec.params.get("beat_every_s", 0.02))
+    deadline = time.monotonic() + total
+    while time.monotonic() < deadline:
+        time.sleep(min(slice_s, max(deadline - time.monotonic(), 0.0)))
+        beat()
+    return {"digest": "sleep:" + _spec_digest(spec), "steps": 0}
+
+
+def _run_flaky(
+    spec: JobSpec, job_dir: Optional[pathlib.Path], beat: Callable[[], None], attempt: int
+) -> dict:
+    """Fails its first ``fails_before`` attempts, then succeeds."""
+    beat()
+    if attempt <= int(spec.params.get("fails_before", 2)):
+        raise RuntimeError(
+            f"flaky job {spec.job_id}: deliberate failure on attempt {attempt}"
+        )
+    return {"digest": "flaky:" + _spec_digest(spec), "steps": 0}
+
+
+def _run_fail(spec: JobSpec) -> dict:
+    """Deterministic poison: fails every attempt (quarantine fodder)."""
+    raise ValueError(f"poison job {spec.job_id}: fails deterministically")
+
+
+def _run_wedge(spec: JobSpec) -> dict:
+    """Hangs without heartbeats until the supervisor kills it."""
+    time.sleep(float(spec.params.get("hang_s", 3600.0)))
+    return {"digest": "wedge:" + _spec_digest(spec), "steps": 0}
+
+
+def execute_job(
+    spec: JobSpec,
+    job_dir: Optional[pathlib.Path] = None,
+    attempt: int = 1,
+) -> dict:
+    """Run one job attempt; returns the result payload or raises.
+
+    With ``job_dir=None`` the job runs undisturbed in-process — no
+    heartbeats, no checkpoints — which is how the chaos harness computes
+    the reference digests a chaotic run must reproduce bit-exactly.
+    """
+
+    def beat() -> None:
+        _beat(job_dir)
+
+    if spec.kind == "ocean":
+        result = _run_ocean(spec, job_dir, beat)
+    elif spec.kind == "sleep":
+        result = _run_sleep(spec, job_dir, beat)
+    elif spec.kind == "flaky":
+        result = _run_flaky(spec, job_dir, beat, attempt)
+    elif spec.kind == "fail":
+        result = _run_fail(spec)
+    elif spec.kind == "wedge":
+        result = _run_wedge(spec)
+    else:  # unreachable: JobSpec validates its kind
+        raise ValueError(f"unknown job kind {spec.kind!r}")
+    result.update({"job_id": spec.job_id, "kind": spec.kind, "attempt": attempt})
+    return result
+
+
+def worker_main(spec_dict: dict, job_dir: str, attempt: int) -> None:
+    """Entry point of a forked worker process.
+
+    Exit code 0 with ``result.json`` present means success; anything
+    else (nonzero exit, SIGKILL, missing result) reads as a failed
+    attempt.  The captured traceback lands in ``error.json`` so a
+    quarantine can record *why* the job keeps dying.
+    """
+    spec = JobSpec.from_dict(spec_dict)
+    directory = pathlib.Path(job_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    _beat(directory)
+    try:
+        result = execute_job(spec, directory, attempt)
+    except BaseException as exc:  # captured for the quarantine record
+        write_json_atomic(
+            directory / ERROR_NAME,
+            {
+                "job_id": spec.job_id,
+                "attempt": attempt,
+                "error_type": type(exc).__name__,
+                "error": str(exc),
+                "traceback": traceback.format_exc(),
+            },
+        )
+        raise SystemExit(1) from None
+    result["elapsed_note"] = "wall-clock lives in the service metrics"
+    write_json_atomic(directory / RESULT_NAME, result)
+
+
+def read_result(job_dir: pathlib.Path, job_id: str) -> Optional[dict]:
+    """The job's result payload, if a valid one exists (else None)."""
+    path = pathlib.Path(job_dir) / RESULT_NAME
+    try:
+        result = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None
+    if result.get("job_id") != job_id or "digest" not in result:
+        return None
+    return result
+
+
+def read_error(job_dir: pathlib.Path) -> Optional[dict]:
+    """The last attempt's captured failure, if one was written."""
+    path = pathlib.Path(job_dir) / ERROR_NAME
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):
+        return None

@@ -1,0 +1,66 @@
+"""Odd rank counts (N=3, 5, 7): the autotuner must still pick a valid
+plan and the data engine must stay bit-exact.
+
+Ensemble workers and degraded clusters routinely leave an odd number of
+ranks alive; the power-of-two-only algorithms must drop out of the
+candidate set silently while the fold-based paths keep the global sum
+bit-identical to the canonical reduction order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.collectives import Autotuner
+from repro.collectives.schedules import OPS, build, candidates
+from repro.collectives.semantics import reference_result, run_schedule
+from repro.parallel.globalsum import canonical_fold_reduce
+
+ODD_NS = (3, 5, 7)
+
+
+@pytest.mark.parametrize("n", ODD_NS)
+@pytest.mark.parametrize("op", OPS)
+def test_tuner_picks_valid_plan_at_odd_n(op, n):
+    tuner = Autotuner()
+    for priority in ("high", "low"):
+        plan = tuner.plan(op, n, 64, priority=priority)
+        assert plan.algorithm in candidates(op, n)
+        plan.schedule.validate()
+        assert plan.n == n and plan.predicted_s > 0.0
+        # the plan's cost table covers exactly the legal candidates
+        assert set(plan.costs) == set(candidates(op, n))
+
+
+@pytest.mark.parametrize("n", ODD_NS)
+def test_tuned_allreduce_bit_exact_at_odd_n(n):
+    tuner = Autotuner()
+    rng = np.random.default_rng(100 + n)
+    inp = [rng.standard_normal(8) for _ in range(n)]
+    want = np.atleast_1d(canonical_fold_reduce(inp))
+    plan = tuner.plan("allreduce", n, 8 * 8)
+    got = run_schedule(plan.schedule, inp)
+    for rank in range(n):
+        assert got[rank].tobytes() == want.tobytes(), (plan.algorithm, rank)
+
+
+@pytest.mark.parametrize("n", ODD_NS)
+def test_every_allreduce_candidate_agrees_at_odd_n(n):
+    """All algorithms legal at odd N produce identical float64 bits —
+    no power-of-two fold path may reorder the reduction."""
+    rng = np.random.default_rng(200 + n)
+    inp = [rng.standard_normal(5) for _ in range(n)]
+    ref = reference_result("allreduce", inp, n)
+    for alg in candidates("allreduce", n):
+        got = run_schedule(build("allreduce", alg, n, 5 * 8), inp)
+        for rank in range(n):
+            np.testing.assert_array_equal(got[rank], ref[rank], err_msg=alg)
+            assert got[rank].tobytes() == ref[rank].tobytes(), (alg, rank)
+
+
+@pytest.mark.parametrize("n", ODD_NS)
+def test_pow2_only_algorithms_absent_at_odd_n(n):
+    for op in OPS:
+        for alg, builder in candidates(op, n).items():
+            sch = builder(n, 64)
+            sch.validate()
+            assert sch.n == n

@@ -1,0 +1,96 @@
+"""Journal crash-safety: CRC framing, torn tails, atomic repair."""
+
+import json
+import struct
+import zlib
+
+import pytest
+
+from repro.service import Journal, JournalError, JournalWarning
+
+RECORDS = [
+    {"type": "submit", "spec": {"kind": "sleep", "params": {}, "name": "a"}},
+    {"type": "start", "job_id": "a", "attempt": 1},
+    {"type": "complete", "job_id": "a", "digest": "beef"},
+]
+
+
+def write_records(path, records=RECORDS):
+    with Journal(path) as journal:
+        for record in records:
+            journal.append(record)
+    return path
+
+
+class TestRoundTrip:
+    def test_append_replay_round_trip(self, tmp_path):
+        path = write_records(tmp_path / "j.bin")
+        assert Journal(path).replay() == RECORDS
+
+    def test_empty_and_missing_files_replay_clean(self, tmp_path):
+        assert Journal(tmp_path / "absent.bin").replay() == []
+        (tmp_path / "empty.bin").touch()
+        assert Journal(tmp_path / "empty.bin").replay() == []
+
+    def test_oversize_record_rejected(self, tmp_path):
+        with Journal(tmp_path / "j.bin") as journal:
+            with pytest.raises(JournalError, match="frame cap"):
+                journal.append({"blob": "x" * (17 * 1024 * 1024)})
+
+
+class TestTornTail:
+    def tear(self, path, keep_extra_bytes):
+        """Append a partial frame, as a SIGKILL mid-write would."""
+        payload = json.dumps({"type": "start", "job_id": "torn"}).encode()
+        frame = struct.pack(">II", len(payload), zlib.crc32(payload)) + payload
+        with open(path, "ab") as fh:
+            fh.write(frame[:keep_extra_bytes])
+
+    @pytest.mark.parametrize("keep", [1, 4, 8, 12, 20])
+    def test_torn_tail_keeps_good_prefix(self, tmp_path, keep):
+        path = write_records(tmp_path / "j.bin")
+        self.tear(path, keep)
+        with pytest.warns(JournalWarning):
+            assert Journal(path).replay() == RECORDS
+
+    def test_crc_mismatch_stops_replay(self, tmp_path):
+        path = write_records(tmp_path / "j.bin")
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF  # flip a bit in the last payload
+        path.write_bytes(bytes(blob))
+        with pytest.warns(JournalWarning, match="CRC mismatch"):
+            assert Journal(path).replay() == RECORDS[:-1]
+
+    def test_recover_truncates_atomically(self, tmp_path):
+        path = write_records(tmp_path / "j.bin")
+        good_size = path.stat().st_size
+        self.tear(path, 7)
+        journal = Journal(path)
+        with pytest.warns(JournalWarning):
+            assert journal.recover() is True
+        assert path.stat().st_size == good_size
+        assert journal.recover() is False  # already clean: no-op, no warning
+        assert journal.replay() == RECORDS
+
+    def test_append_after_recover_extends_cleanly(self, tmp_path):
+        path = write_records(tmp_path / "j.bin")
+        self.tear(path, 3)
+        extra = {"type": "quarantine", "job_id": "a", "reason": "r"}
+        with pytest.warns(JournalWarning):
+            with Journal(path) as journal:  # open() runs recover()
+                journal.append(extra)
+        assert Journal(path).replay() == RECORDS + [extra]
+
+    def test_absurd_length_header_is_damage_not_allocation(self, tmp_path):
+        path = write_records(tmp_path / "j.bin")
+        with open(path, "ab") as fh:
+            fh.write(struct.pack(">II", 2**31, 0))
+        with pytest.warns(JournalWarning, match="absurd frame length"):
+            assert Journal(path).replay() == RECORDS
+
+
+def test_compact_rewrites_exactly(tmp_path):
+    path = write_records(tmp_path / "j.bin")
+    journal = Journal(path)
+    journal.compact(RECORDS[:1])
+    assert journal.replay() == RECORDS[:1]

@@ -1,0 +1,146 @@
+"""Queue state machine: journal-first transitions, replay equivalence."""
+
+import pytest
+
+from repro.service import JobPriority, JobQueue, JobSpec, Journal
+from repro.service.jobs import JobStatus
+
+
+@pytest.fixture
+def queue(tmp_path):
+    journal = Journal(tmp_path / "journal.bin").open()
+    q = JobQueue(journal)
+    q.replay()
+    yield q
+    journal.close()
+
+
+def spec(name, priority=JobPriority.NORMAL, **params):
+    return JobSpec(kind="sleep", name=name, params=params, priority=priority)
+
+
+class TestSubmission:
+    def test_submit_is_idempotent(self, queue):
+        assert queue.submit(spec("a")) == "a"
+        assert queue.submit(spec("a")) == "a"
+        assert len(queue.jobs) == 1
+        assert queue.duplicate_submits == 1
+
+    def test_content_hash_ids_are_stable(self, queue):
+        s1 = JobSpec(kind="sleep", params={"x": 1})
+        s2 = JobSpec(kind="sleep", params={"x": 1})
+        assert s1.job_id == s2.job_id
+        queue.submit(s1)
+        queue.submit(s2)
+        assert len(queue.jobs) == 1
+
+    def test_unknown_kind_rejected_at_spec(self):
+        with pytest.raises(ValueError, match="unknown job kind"):
+            JobSpec(kind="bitcoin", params={})
+
+
+class TestScheduling:
+    def test_priority_then_fifo(self, queue):
+        queue.submit(spec("low", JobPriority.LOW))
+        queue.submit(spec("normal-1"))
+        queue.submit(spec("normal-2"))
+        queue.submit(spec("high", JobPriority.HIGH))
+        order = []
+        while True:
+            state = queue.next_ready(now=0.0)
+            if state is None:
+                break
+            order.append(state.job_id)
+            queue.mark_started(state.job_id, 1)
+        assert order == ["high", "normal-1", "normal-2", "low"]
+
+    def test_backoff_fence_hides_job_until_due(self, queue):
+        queue.submit(spec("a"))
+        queue.mark_started("a", 1)
+        queue.mark_failed("a", 1, "boom", retry_at=100.0)
+        assert queue.next_ready(now=99.0) is None
+        assert queue.earliest_fence() == 100.0
+        assert queue.next_ready(now=100.5).job_id == "a"
+
+    def test_requeue_does_not_burn_attempt(self, queue):
+        queue.submit(spec("a"))
+        queue.mark_started("a", 1)
+        queue.mark_requeued("a", "service restart")
+        state = queue.jobs["a"]
+        assert state.status is JobStatus.PENDING
+        assert state.attempts == 1  # next spawn is still attempt 2
+        assert state.not_before == 0.0
+
+
+class TestTerminalStates:
+    def test_complete_is_first_wins(self, queue):
+        queue.submit(spec("a"))
+        queue.mark_completed("a", "d1")
+        queue.mark_quarantined("a", "too late")
+        queue.mark_shed("a", "too late")
+        assert queue.jobs["a"].status is JobStatus.COMPLETED
+        assert queue.jobs["a"].digest == "d1"
+
+    def test_duplicate_complete_same_digest_is_legal(self, queue):
+        queue.submit(spec("a"))
+        queue.mark_completed("a", "d1")
+        queue.mark_completed("a", "d1")
+        assert queue.divergent_completes == []
+        assert queue.jobs["a"].digests_seen == ["d1", "d1"]
+
+    def test_divergent_duplicate_complete_is_flagged(self, queue):
+        queue.submit(spec("a"))
+        queue.mark_completed("a", "d1")
+        queue.mark_completed("a", "d2")
+        assert queue.divergent_completes == ["a"]
+        assert queue.jobs["a"].digest == "d1"  # first wins
+
+    def test_quarantine_records_reason_and_traceback(self, queue):
+        queue.submit(spec("a"))
+        queue.mark_quarantined("a", "failed 5 attempts", traceback="Trace...")
+        state = queue.jobs["a"]
+        assert state.status is JobStatus.QUARANTINED
+        assert state.reason == "failed 5 attempts"
+        assert state.traceback == "Trace..."
+
+
+class TestReplayEquivalence:
+    def test_replay_reconstructs_exact_state(self, tmp_path):
+        journal = Journal(tmp_path / "j.bin").open()
+        q1 = JobQueue(journal)
+        q1.replay()
+        q1.submit(spec("a"))
+        q1.submit(spec("b", JobPriority.HIGH))
+        q1.mark_started("a", 1)
+        q1.mark_failed("a", 1, "boom", retry_at=5.0)
+        q1.mark_started("b", 1)
+        q1.mark_completed("b", "bd")
+        journal.close()
+
+        q2 = JobQueue(Journal(tmp_path / "j.bin"))
+        q2.replay()
+        assert set(q2.jobs) == {"a", "b"}
+        for job_id in q2.jobs:
+            s1, s2 = q1.jobs[job_id], q2.jobs[job_id]
+            assert (s1.status, s1.attempts, s1.not_before, s1.digest) == (
+                s2.status, s2.attempts, s2.not_before, s2.digest
+            )
+            assert s1.submit_seq == s2.submit_seq
+
+    def test_transition_without_submit_is_ignored(self, tmp_path):
+        journal = Journal(tmp_path / "j.bin").open()
+        journal.append({"type": "complete", "job_id": "ghost", "digest": "d"})
+        journal.close()
+        q = JobQueue(Journal(tmp_path / "j.bin"))
+        assert q.replay() == 1
+        assert q.jobs == {}
+
+    def test_counts_and_all_terminal(self, queue):
+        queue.submit(spec("a"))
+        queue.submit(spec("b"))
+        assert not queue.all_terminal()
+        queue.mark_completed("a", "d")
+        queue.mark_quarantined("b", "poison")
+        assert queue.all_terminal()
+        counts = queue.counts()
+        assert counts["completed"] == 1 and counts["quarantined"] == 1

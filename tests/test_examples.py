@@ -17,6 +17,7 @@ QUICK = [
     "quickstart.py",
     "interconnect_study.py",
     "network_microbench.py",
+    "ensemble_forecast.py",
 ]
 
 
