@@ -50,13 +50,18 @@ print(f"trace smoke: {len(obj['traceEvents'])} events validate")
 PY
 
 echo
+echo "== backend cross-validation gate (cheap tiers within 5% of DES) =="
+python -m repro backend --crossval
+
+echo
 echo "== machine-readable benchmarks (schema'd BENCH_*.json) =="
 python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig02_logp.py \
   benchmarks/bench_fig08_globalsum.py \
   benchmarks/bench_fig09_coupled.py \
   benchmarks/bench_collectives.py \
-  benchmarks/bench_service_throughput.py
+  benchmarks/bench_service_throughput.py \
+  benchmarks/bench_backend.py
 
 echo
 echo "== chaos smoke (SIGKILL'd workers + service: nothing lost, bit-exact) =="

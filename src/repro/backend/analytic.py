@@ -1,0 +1,110 @@
+"""The analytic tier: closed-form LogP/Arctic costs, no packets.
+
+Exchange costs come straight from
+:meth:`repro.network.costmodel.CommCostModel.exchange_time` — the
+first-principles composition that lands on the paper's measured Fig. 11
+values.  Global sums and barriers come from the collectives autotuner's
+per-rank schedule-cost evaluation (:mod:`repro.collectives.cost`), whose
+butterfly rounds are *derived from the same calibrated per-message
+costs the DES charges* (``os(8 B) + GSUM_SW_COST + or(8 B) = 4.22 us``)
+— which is what keeps this tier inside the ≤5 % cross-validation band
+against the packet-level ground truth.
+
+With ``calibrated=False`` the tier instead quotes the *measured-table*
+gsum latencies of :func:`~repro.network.costmodel.arctic_cost_model`
+(paper Fig. 8: 18.2 us at N=16) — the pre-backend runtime's exact
+behaviour, kept as the compatibility default so legacy callers see
+unchanged numbers.  The measured tables sit ~7 % off the DES (the real
+hardware carried overheads the simulation does not), so the
+cross-validation gate runs the calibrated flavour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.network.costmodel import CommCostModel, arctic_cost_model
+
+from .base import CommBackend
+
+#: Above this node count the calibrated tier stops *searching* schedules
+#: (the tuner's ring candidate alone is O(N^2) sends — 33M objects at
+#: N=4096) and scores the butterfly schedule directly, which is the
+#: algorithm the search picks at every Hyades-scale N anyway and the one
+#: whose schedule-cost matches the DES beacon-for-beacon.
+TUNER_MAX_N = 128
+
+
+class AnalyticBackend(CommBackend):
+    """Closed-form costs; virtual time advances without simulating packets."""
+
+    name = "analytic"
+
+    def __init__(
+        self,
+        model: Optional[CommCostModel] = None,
+        tuner=None,
+        calibrated: bool = True,
+    ) -> None:
+        self.model = model or arctic_cost_model()
+        self.calibrated = bool(calibrated)
+        if tuner is None and self.calibrated:
+            if model is None:
+                from repro.collectives.tuner import default_tuner
+
+                tuner = default_tuner()
+            else:
+                from repro.collectives.tuner import Autotuner
+
+                tuner = Autotuner(self.model)
+        #: Collectives autotuner answering gsum/barrier queries; ``None``
+        #: in the uncalibrated (measured-table) flavour.
+        self.tuner = tuner
+        self._large_gsum: Dict[Tuple[int, int], float] = {}
+
+    def _butterfly_time(self, n_nodes: int, nbytes: int) -> float:
+        """Schedule-cost of the folded butterfly, memoized — the
+        search-free large-N path (see :data:`TUNER_MAX_N`)."""
+        key = (n_nodes, nbytes)
+        t = self._large_gsum.get(key)
+        if t is None:
+            from repro.collectives.cost import schedule_cost
+            from repro.collectives.schedules import allreduce_butterfly
+
+            t = schedule_cost(allreduce_butterfly(n_nodes, nbytes), self.model)
+            self._large_gsum[key] = t
+        return t
+
+    def exchange_time(
+        self,
+        edge_bytes: Sequence[int],
+        mixmode: bool = False,
+        n_ranks: int = 1,
+    ) -> float:
+        """Closed-form exchange cost (Section 4.1 composition)."""
+        return self.model.exchange_time(edge_bytes, mixmode=mixmode, n_ranks=n_ranks)
+
+    def gsum_time(self, n_nodes: int, nbytes: int = 8, smp: bool = False) -> float:
+        """Tuned schedule-cost gsum (calibrated) or the measured table."""
+        if self.tuner is not None:
+            if n_nodes > TUNER_MAX_N:
+                t = self._butterfly_time(n_nodes, nbytes)
+                return t + self.model.smp_local_cost if smp else t
+            return self.tuner.allreduce_time(n_nodes, nbytes, smp=smp)
+        return self.model.gsum_time(n_nodes, smp=smp)
+
+    def barrier_time(self, n_nodes: int) -> float:
+        """Tuned barrier (calibrated) or the dataless-gsum model cost."""
+        if self.tuner is not None:
+            if n_nodes > TUNER_MAX_N:
+                # the paper's barrier is a dataless gsum: same butterfly
+                return self._butterfly_time(n_nodes, 8)
+            return self.tuner.barrier_time(n_nodes)
+        return self.model.barrier_time(n_nodes)
+
+    def describe(self) -> dict:
+        """Adds the calibration flavour to the base description."""
+        d = super().describe()
+        d["calibrated"] = self.calibrated
+        d["gsum_source"] = "tuner" if self.tuner is not None else "measured-table"
+        return d

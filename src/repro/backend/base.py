@@ -1,0 +1,175 @@
+"""The :class:`CommBackend` contract and the backend registry.
+
+One runtime API, three fidelities.  Every consumer of communication
+cost — :class:`~repro.parallel.runtime.LockstepRuntime`, the halo
+:class:`~repro.parallel.exchange.HaloExchanger`, the
+:class:`~repro.parallel.globalsum.GlobalSummer`, the coupled GCM and
+the ensemble service — charges virtual time through a single
+``backend=`` argument that accepts either a tier name or a
+:class:`CommBackend` instance:
+
+* ``"des"`` — packet-exact: every quoted time is *measured* on the
+  discrete-event Arctic/StarT-X cluster (memoized per message shape);
+* ``"analytic"`` — closed-form LogP/Arctic costs with the collectives
+  autotuner's schedule-cost global sums, calibrated to track the DES
+  within the cross-validation band (≤5 %, see
+  :mod:`repro.backend.crossval`);
+* ``"hybrid"`` — analytic during steady-state windows, DES during
+  faulted/contested windows (see :meth:`CommBackend.begin_window`).
+
+Timing never feeds back into the numerics — field data moves through
+the same deterministic exchange/reduction code under every tier — so
+GCM state is bit-exact across backends *by construction*; the
+cross-validation gate asserts it anyway.
+"""
+
+from __future__ import annotations
+
+import abc
+import warnings
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.network.costmodel import CommCostModel
+
+#: Tier names accepted wherever ``backend=`` takes a string.
+BACKEND_NAMES = ("des", "analytic", "hybrid")
+
+
+def deprecated_kwarg(old: str, new: str, extra: str = "") -> None:
+    """Emit the standard one-release deprecation warning for a renamed
+    runtime keyword (``cost_model=`` / ``tuner=`` / ``engine=`` →
+    ``backend=``)."""
+    warnings.warn(
+        f"{old} is deprecated; pass {new} instead{extra}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+
+
+class CommBackend(abc.ABC):
+    """Quotes communication costs (seconds) for the BSP runtime.
+
+    A backend is a *pure timing oracle*: it never touches field data.
+    All sizes are bytes; ``n_nodes`` counts fabric endpoints (SMP
+    masters in mix-mode), not ranks.
+    """
+
+    #: Tier name ("des" / "analytic" / "hybrid" / custom).
+    name: str = "base"
+
+    #: The analytic parameter set the tier is anchored to (bandwidths,
+    #: overheads, mix-mode factors).  Always present — even the DES tier
+    #: carries one, for the pack/relay terms the packet simulation does
+    #: not model and for legacy ``runtime.cost_model`` access.
+    model: CommCostModel
+
+    # ---- costs ----------------------------------------------------------
+
+    @abc.abstractmethod
+    def exchange_time(
+        self,
+        edge_bytes: Sequence[int],
+        mixmode: bool = False,
+        n_ranks: int = 1,
+    ) -> float:
+        """Seconds for one rank's halo exchange (``edge_bytes[i]`` is the
+        message size traded with neighbour ``i``; zero entries are walls)."""
+
+    @abc.abstractmethod
+    def gsum_time(self, n_nodes: int, nbytes: int = 8, smp: bool = False) -> float:
+        """Seconds for one N-way all-reduce of an ``nbytes`` payload;
+        ``smp`` adds the intra-SMP combine of the 2xN mix-mode path."""
+
+    @abc.abstractmethod
+    def barrier_time(self, n_nodes: int) -> float:
+        """Seconds for one N-way barrier."""
+
+    # ---- window protocol -------------------------------------------------
+
+    def begin_window(self, index: Optional[int] = None, faulted: bool = False) -> None:
+        """Hook called at each coupling-window boundary.
+
+        Fixed-fidelity tiers ignore it; the hybrid tier uses ``faulted``
+        (or its attached fault plan and ``index``) to pick the fidelity
+        for the coming window.
+        """
+
+    @property
+    def tier(self) -> str:
+        """The fidelity answering queries *right now* (differs from
+        :attr:`name` only for window-switching tiers like hybrid)."""
+        return self.name
+
+    # ---- reporting -------------------------------------------------------
+
+    def describe(self) -> dict:
+        """Machine-readable self-description (benchmarks embed this)."""
+        return {"backend": self.name, "model": self.model.name}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} over {self.model.name!r}>"
+
+
+#: name -> zero-config factory; extended by :func:`register_backend`.
+BACKENDS: Dict[str, Callable[[], CommBackend]] = {}
+
+
+def register_backend(name: str, factory: Callable[[], CommBackend]) -> None:
+    """Register a custom tier so ``backend="<name>"`` resolves to it."""
+    BACKENDS[name] = factory
+
+
+def resolve_backend(
+    spec=None,
+    *,
+    model: Optional[CommCostModel] = None,
+    tuner=None,
+) -> CommBackend:
+    """Resolve a ``backend=`` argument to a :class:`CommBackend`.
+
+    ``spec`` may be a :class:`CommBackend` instance (returned as-is;
+    ``model``/``tuner`` must then be left unset), a registered tier name,
+    or ``None`` — the compatibility default: an analytic backend that
+    reproduces the pre-backend runtime exactly (measured gsum tables,
+    or the caller's ``tuner`` when one was passed).
+
+    ``model``/``tuner`` parameterize the constructed tier; they exist so
+    the deprecation shims can funnel legacy ``cost_model=``/``tuner=``
+    kwargs through without changing behaviour.
+    """
+    if isinstance(spec, CommBackend):
+        if model is not None or tuner is not None:
+            raise ValueError(
+                "backend instance already carries its model/tuner; "
+                "cannot combine with cost_model=/tuner="
+            )
+        return spec
+    from repro.backend.analytic import AnalyticBackend
+    from repro.backend.des import DESBackend
+    from repro.backend.hybrid import HybridBackend
+
+    if spec is None:
+        # Legacy-equivalent tier: measured-table gsums unless the caller
+        # carried a tuner, exactly the old LockstepRuntime behaviour.
+        return AnalyticBackend(model=model, tuner=tuner, calibrated=tuner is not None)
+    if not isinstance(spec, str):
+        raise TypeError(
+            f"backend must be a tier name or CommBackend, got {type(spec).__name__}"
+        )
+    name = spec.lower()
+    if name == "analytic":
+        return AnalyticBackend(model=model, tuner=tuner, calibrated=True)
+    if name == "des":
+        if tuner is not None:
+            raise ValueError("the des backend does not take a tuner")
+        return DESBackend(model=model)
+    if name == "hybrid":
+        return HybridBackend(model=model, tuner=tuner)
+    if name in BACKENDS:
+        if model is not None or tuner is not None:
+            raise ValueError(f"registered backend {name!r} takes no model=/tuner=")
+        return BACKENDS[name]()
+    raise ValueError(
+        f"unknown backend {spec!r}; choose from {BACKEND_NAMES} "
+        f"or a registered name {tuple(BACKENDS)}"
+    )

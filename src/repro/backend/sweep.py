@@ -1,0 +1,151 @@
+"""Large-N interconnect sweeps: where the cheap tiers earn their keep.
+
+The paper's Fig. 11/12 analysis asks, for a given interconnect, what
+per-processor floating-point rate the communication phases *permit*
+(Pfpp, eqs. 14-15).  The reproduction can now ask the same question far
+beyond the 16-node Hyades: scale the paper's reference tile
+(32 x 16 x 10 cells per processor — the nxyz = 5120 of eq. 14) weakly
+out to thousands of nodes and quote the halo-exchange and global-sum
+costs from a :class:`~repro.backend.CommBackend`.
+
+On the analytic tier each sweep point is a handful of closed-form
+evaluations — N = 4096 takes milliseconds.  On the DES tier the same
+point requires instantiating a 4096-endpoint Arctic fat tree and
+pushing every butterfly beacon through it packet by packet, which is
+exactly the infeasibility the fidelity-switchable backend exists to
+route around (``benchmarks/bench_backend.py`` measures the blow-up on
+the small N where DES still completes).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro.parallel.tiling import Decomposition
+
+from .base import CommBackend, resolve_backend
+
+#: The paper's reference per-processor PS tile: 32 x 16 columns, 10
+#: levels -> nxyz = 5120 grid points (eq. 14's workload term).
+REF_TILE = (32, 16)
+REF_NZ = 10
+
+#: Default node counts for :func:`large_sweep` — Hyades (16) out to the
+#: N = 4096 machine the DES tier cannot reach.
+SWEEP_N_VALUES = (16, 64, 256, 1024, 4096)
+
+
+def square_process_grid(n_nodes: int) -> tuple[int, int]:
+    """Nearest-to-square ``px x py`` factorisation of a power-of-two N."""
+    if n_nodes < 1 or n_nodes & (n_nodes - 1):
+        raise ValueError(f"sweep node counts must be powers of two, got {n_nodes}")
+    px = 1
+    while px * px < n_nodes:
+        px <<= 1
+    return px, n_nodes // px
+
+
+def sweep_point(
+    n_nodes: int,
+    backend=None,
+    tile: tuple[int, int] = REF_TILE,
+    nz: int = REF_NZ,
+    nps: Optional[float] = None,
+    nds: Optional[float] = None,
+) -> dict:
+    """Evaluate one weak-scaled configuration at ``n_nodes`` processors.
+
+    The global grid is the reference tile replicated over the
+    nearest-to-square process grid, so per-processor work is constant
+    and the interconnect terms carry all the N-dependence: the 3-D halo
+    exchange (texchxyz), the 2-D width-1 exchange (texchxy) and the
+    N-way global sum (tgsum) are quoted from ``backend``, then fed to
+    eqs. (14)-(15).  Returns a JSON-ready row including the host
+    seconds the quotes took (``wall_s``) — the number that separates
+    the tiers at large N.
+    """
+    # imported lazily: repro.core.pfpp itself reaches back into the
+    # backend package for its large-N tables
+    from repro.core.constants import ATM_PS_PARAMS, DS_PARAMS
+    from repro.core.pfpp import pfpp_ds, pfpp_ps
+
+    be: CommBackend = resolve_backend(backend) if not isinstance(
+        backend, CommBackend
+    ) else backend
+    px, py = square_process_grid(n_nodes)
+    tnx, tny = tile
+    t0 = time.perf_counter()
+    decomp = Decomposition(tnx * px, tny * py, px, py, olx=1)
+    rank = max(
+        range(decomp.n_ranks),
+        key=lambda r: sum(decomp.edge_bytes(nz=nz, rank=r)),
+    )
+    texchxyz = be.exchange_time(
+        decomp.edge_bytes(nz=nz, rank=rank), n_ranks=n_nodes
+    )
+    texchxy = be.exchange_time(
+        decomp.edge_bytes(nz=1, width=1, rank=rank), n_ranks=n_nodes
+    )
+    tgsum = be.gsum_time(n_nodes)
+    wall = time.perf_counter() - t0
+    nxyz = tnx * tny * nz
+    nxy = tnx * tny * 2  # the DS tile holds two PS tiles (nxy = 1024)
+    return {
+        "n_nodes": n_nodes,
+        "grid": [tnx * px, tny * py],
+        "process_grid": [px, py],
+        "backend": be.name,
+        "tgsum_s": tgsum,
+        "texchxy_s": texchxy,
+        "texchxyz_s": texchxyz,
+        "pfpp_ps_flops": pfpp_ps(nps or ATM_PS_PARAMS.nps, nxyz, texchxyz),
+        "pfpp_ds_flops": pfpp_ds(nds or DS_PARAMS.nds, nxy, tgsum, texchxy),
+        "wall_s": wall,
+    }
+
+
+def large_sweep(
+    n_values: Sequence[int] = SWEEP_N_VALUES,
+    backend="analytic",
+    tile: tuple[int, int] = REF_TILE,
+    nz: int = REF_NZ,
+) -> dict:
+    """Sweep Pfpp over ``n_values`` processors on one backend tier.
+
+    The default reaches N = 4096 on the analytic tier in well under a
+    second; substituting ``backend="des"`` at that scale is the
+    experiment the backend API exists to make unnecessary.  Returns a
+    JSON-ready report with one :func:`sweep_point` row per N.
+    """
+    be = resolve_backend(backend) if not isinstance(backend, CommBackend) else backend
+    t0 = time.perf_counter()
+    rows = [sweep_point(n, be, tile=tile, nz=nz) for n in n_values]
+    return {
+        "backend": be.name,
+        "tile": list(tile),
+        "nz": nz,
+        "rows": rows,
+        "wall_s": time.perf_counter() - t0,
+    }
+
+
+def format_sweep(report: dict) -> str:
+    """Human-readable rendering of a :func:`large_sweep` report."""
+    lines = [
+        f"Fig. 11-style weak-scaling sweep on the {report['backend']} tier "
+        f"(tile {report['tile'][0]}x{report['tile'][1]}x{report['nz']} "
+        f"per processor)",
+        f"{'N':>6s} {'grid':>12s} {'tgsum':>10s} {'texchxy':>10s} "
+        f"{'texchxyz':>10s} {'Pfpp,ps':>10s} {'Pfpp,ds':>10s} {'wall':>9s}",
+    ]
+    for r in report["rows"]:
+        lines.append(
+            f"{r['n_nodes']:6d} {r['grid'][0]:5d}x{r['grid'][1]:<5d}"
+            f" {r['tgsum_s'] * 1e6:8.1f}us {r['texchxy_s'] * 1e6:8.1f}us"
+            f" {r['texchxyz_s'] * 1e6:8.1f}us"
+            f" {r['pfpp_ps_flops'] / 1e6:7.1f}MF {r['pfpp_ds_flops'] / 1e6:7.1f}MF"
+            f" {r['wall_s'] * 1e3:7.2f}ms"
+        )
+    lines.append(f"total sweep wall-clock: {report['wall_s']:.3f}s")
+    return "\n".join(lines)

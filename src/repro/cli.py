@@ -28,6 +28,16 @@ Commands:
   once every admitted job is terminal); ``--chaos`` runs the seeded
   SIGKILL campaign against a real service subprocess and audits that
   every job completed bit-exact or was explicitly quarantined.
+* ``backend`` — the fidelity-switchable communication backend:
+  ``--crossval`` runs the des/analytic/hybrid cross-validation gate
+  (fig02/fig08/fig09 workloads, ≤5% band, bit-exact GCM digests),
+  ``--sweep`` the Fig. 11-style large-N Pfpp sweep, ``--info`` the
+  tier descriptions.
+
+Model-running subcommands take one ``--backend {des,analytic,hybrid}``
+flag selecting the communication fidelity tier (see
+``docs/backends.md``); the pre-redesign ``--engine`` spelling still
+parses but warns via ``DeprecationWarning``.
 """
 
 from __future__ import annotations
@@ -35,6 +45,43 @@ from __future__ import annotations
 import argparse
 import sys
 from typing import Optional, Sequence
+
+#: Mirror of :data:`repro.backend.BACKEND_NAMES` (kept literal so the
+#: parser builds without importing the runtime).
+_BACKEND_CHOICES = ("des", "analytic", "hybrid")
+
+
+def _add_backend_flag(parser: argparse.ArgumentParser, default=None) -> None:
+    """The one ``--backend`` flag shared by model-running subcommands."""
+    parser.add_argument(
+        "--backend",
+        choices=_BACKEND_CHOICES,
+        default=default,
+        help="communication fidelity tier (see docs/backends.md)",
+    )
+    parser.add_argument(
+        "--engine",
+        choices=_BACKEND_CHOICES,
+        default=None,
+        help="(deprecated) old spelling of --backend",
+    )
+
+
+def _backend_arg(args: argparse.Namespace, default=None):
+    """Resolve the tier from ``--backend`` (or the deprecated ``--engine``)."""
+    engine = getattr(args, "engine", None)
+    if engine is not None:
+        import warnings
+
+        warnings.warn(
+            "--engine is deprecated; use --backend",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if getattr(args, "backend", None) is None:
+            return engine
+    backend = getattr(args, "backend", None)
+    return backend if backend is not None else default
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
@@ -49,16 +96,54 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_backend(args: argparse.Namespace) -> int:
+    """Backend gate: cross-validation, large-N sweep, or tier info."""
+    import json
+
+    if args.crossval:
+        from repro.backend import format_report, run_crossval
+
+        report = run_crossval(tolerance=args.tolerance, windows=args.windows)
+        print(format_report(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0 if report["passed"] else 1
+
+    if args.sweep:
+        from repro.backend import format_sweep, large_sweep
+
+        tier = _backend_arg(args, default="analytic")
+        report = large_sweep(n_values=tuple(args.nodes), backend=tier)
+        print(format_sweep(report))
+        if args.json:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json.dump(report, fh, indent=1, sort_keys=True)
+            print(f"wrote {args.json}")
+        return 0
+
+    from repro.backend import resolve_backend
+
+    for name in _BACKEND_CHOICES:
+        d = resolve_backend(name).describe()
+        print(f"{name:10s} {json.dumps(d, sort_keys=True, default=str)}")
+    return 0
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     from repro.gcm import diagnostics as diag
     from repro.gcm.ocean import ocean_model
 
+    tier = _backend_arg(args)
     model = ocean_model(
-        nx=args.nx, ny=args.ny, nz=args.nz, px=args.px, py=args.py, dt=args.dt
+        nx=args.nx, ny=args.ny, nz=args.nz, px=args.px, py=args.py, dt=args.dt,
+        backend=tier,
     )
     print(
         f"ocean {args.nx}x{args.ny}x{args.nz} on {model.decomp.n_ranks} ranks; "
         f"{args.steps} steps of dt={args.dt}s"
+        + (f"; {tier} backend" if tier else "")
     )
     for k in range(args.steps):
         s = model.step()
@@ -83,11 +168,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     """Traced coupled demo run -> Chrome trace JSON + telemetry summary."""
     from repro.obs.capture import save_trace, traced_coupled_run
 
+    tier = _backend_arg(args)
     print(
         f"tracing coupled demo: {args.windows} coupling window(s) on the "
         "simulated Hyades cluster"
+        + (f" ({tier} backend for BSP phase costs)" if tier else "")
     )
-    result = traced_coupled_run(windows=args.windows)
+    result = traced_coupled_run(windows=args.windows, backend=tier)
     save_trace(result, args.out)
     tr = result["tracer"]
     print(
@@ -198,10 +285,47 @@ def _cmd_crash(args: argparse.Namespace) -> int:
     return 0 if res.bit_exact else 1
 
 
+def _cmd_faults_hybrid(args: argparse.Namespace) -> int:
+    """Hybrid-tier fault demo: faulted windows answered at DES fidelity."""
+    from repro.gcm.coupled import coupled_model
+
+    cm = coupled_model(
+        nx=16, ny=8, nz_atm=3, nz_ocn=4, px=2, py=2, dt=600.0,
+        coupling_interval=2, backend="hybrid",
+    )
+    be = cm.backends()[0]
+    faulted = {0}
+    print(
+        f"hybrid tier: {args.windows} coupling window(s), "
+        f"window(s) {sorted(faulted)} marked faulted"
+    )
+    for w in range(args.windows):
+        cm.step_coupled(faulted=w in faulted)
+        print(f"  window {w}: served by the {be.tier} tier")
+    stats = be.tier_stats()
+    print(
+        f"windows per tier: {stats['windows']}; "
+        f"cost queries per tier: {stats['queries']}"
+    )
+    ok = stats["windows"]["des"] == len(faulted & set(range(args.windows)))
+    print(f"faulted windows routed to DES: {ok}")
+    return 0 if ok else 1
+
+
 def _cmd_faults(args: argparse.Namespace) -> int:
     """Coupled run under a seeded fault plan: the reliability headline."""
     from repro.faults import run_coupled_fault_demo
 
+    tier = _backend_arg(args, default="des")
+    if tier == "analytic":
+        print(
+            "faults needs a packet-capable tier: use --backend des (packet "
+            "fault injection) or --backend hybrid (DES fallback windows)",
+            file=sys.stderr,
+        )
+        return 2
+    if tier == "hybrid":
+        return _cmd_faults_hybrid(args)
     if args.crash:
         return _cmd_crash(args)
     reliable = not args.no_retry
@@ -248,6 +372,12 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_pfpp(args: argparse.Namespace) -> int:
     from repro.core.pfpp import fig12_table
 
+    tier = _backend_arg(args)
+    if tier is not None:
+        from repro.backend import format_sweep, large_sweep
+
+        print(format_sweep(large_sweep(n_values=tuple(args.nodes), backend=tier)))
+        return 0
     print(f"{'interconnect':20s} {'Pfpp,ps':>10s} {'Pfpp,ds':>10s}")
     for r in fig12_table(from_models=True):
         print(f"{r.name:20s} {r.pfpp_ps / 1e6:9.1f}M {r.pfpp_ds / 1e6:9.2f}M")
@@ -274,7 +404,7 @@ def _cmd_collectives(args: argparse.Namespace) -> int:
     """Autotuned collective plans: single plan, size sweep, DES check."""
     from repro.collectives import Autotuner, cost_table
 
-    tuner = Autotuner()
+    tuner = Autotuner(backend=_backend_arg(args))
     if args.sweep:
         sizes = [8, 64, 1024, 8192, 65536, 524288]
         for n in args.nodes:
@@ -382,24 +512,27 @@ def _cmd_service(args: argparse.Namespace) -> int:
 
     root = pathlib.Path(args.dir or tempfile.mkdtemp(prefix="repro-service-"))
     client = ServiceClient(root)
+    tier = _backend_arg(args)
     n = max(2, min(args.jobs, 12))
-    print(f"demo: {n}-member OGCM parameter sweep in {root}")
+    print(
+        f"demo: {n}-member OGCM parameter sweep in {root}"
+        + (f" ({tier} backend)" if tier else "")
+    )
     for i in range(n):
+        params = {
+            "nx": 16,
+            "ny": 8,
+            "nz": 3,
+            "dt": 1200.0,
+            "steps": 8,
+            "perturb_seed": i,
+            "perturb_amp": 0.01,
+            "checkpoint_every": 4,
+        }
+        if tier:
+            params["backend"] = tier
         client.submit(
-            JobSpec(
-                kind="ocean",
-                name=f"sweep-{i:02d}",
-                params={
-                    "nx": 16,
-                    "ny": 8,
-                    "nz": 3,
-                    "dt": 1200.0,
-                    "steps": 8,
-                    "perturb_seed": i,
-                    "perturb_amp": 0.01,
-                    "checkpoint_every": 4,
-                },
-            )
+            JobSpec(kind="ocean", name=f"sweep-{i:02d}", params=params)
         )
     service = EnsembleService(root, _service_config(args))
     service.startup()
@@ -441,6 +574,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_trace.add_argument(
         "--windows", type=int, default=1, help="coupling windows to trace"
     )
+    _add_backend_flag(p_trace)
     p_trace.set_defaults(func=_cmd_trace)
 
     p_run = sub.add_parser("run", help="short ocean integration")
@@ -451,7 +585,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_run.add_argument("--py", type=int, default=2)
     p_run.add_argument("--dt", type=float, default=1200.0)
     p_run.add_argument("--steps", type=int, default=24)
+    _add_backend_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
+
+    p_be = sub.add_parser(
+        "backend", help="fidelity-switchable communication backend tools"
+    )
+    p_be.add_argument(
+        "--crossval",
+        action="store_true",
+        help="run the des/analytic/hybrid cross-validation gate "
+        "(fig02/fig08/fig09 workloads; exit 1 outside the band)",
+    )
+    p_be.add_argument(
+        "--sweep",
+        action="store_true",
+        help="Fig. 11-style large-N Pfpp sweep on the chosen tier",
+    )
+    p_be.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="crossval error band vs DES (fraction, default 0.05)",
+    )
+    p_be.add_argument(
+        "--windows", type=int, default=2, help="fig09 coupling windows"
+    )
+    p_be.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[16, 64, 256, 1024, 4096],
+        help="processor counts for --sweep",
+    )
+    p_be.add_argument("--json", default=None, help="also write the report JSON")
+    _add_backend_flag(p_be)
+    p_be.set_defaults(func=_cmd_backend)
 
     p_faults = sub.add_parser(
         "faults", help="coupled run under seeded fabric faults (reliability demo)"
@@ -495,6 +664,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     p_faults.add_argument(
         "--spares", type=int, default=1, help="hot-spare nodes in the cluster"
     )
+    _add_backend_flag(p_faults)
     p_faults.set_defaults(func=_cmd_faults)
 
     p_pfpp = sub.add_parser("pfpp", help="interconnect PFPP summary")
@@ -503,6 +673,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="extend with the autotuned-collective PFPP at N=16/64/256",
     )
+    p_pfpp.add_argument(
+        "--nodes",
+        type=int,
+        nargs="+",
+        default=[16, 64, 256, 1024, 4096],
+        help="processor counts for the --backend weak-scaling sweep",
+    )
+    _add_backend_flag(p_pfpp)
     p_pfpp.set_defaults(func=_cmd_pfpp)
 
     p_coll = sub.add_parser(
@@ -538,6 +716,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="replay the winning schedule on the DES cluster (N<=16)",
     )
+    _add_backend_flag(p_coll)
     p_coll.set_defaults(func=_cmd_collectives)
 
     p_svc = sub.add_parser(
@@ -591,6 +770,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="wall-clock budget in seconds (chaos default: 120)",
     )
+    _add_backend_flag(p_svc)
     p_svc.set_defaults(func=_cmd_service)
 
     p_century = sub.add_parser("century", help="the Section 6 century projection")

@@ -250,9 +250,26 @@ def _fold_in(n: int, nbytes: int, owned: List[set]) -> List[Send]:
 
 def allreduce_butterfly(n: int, nbytes: int) -> Schedule:
     """Recursive doubling; folds non-power-of-two counts (Fig. 8)."""
-    owned = [{("contrib", r, 0)} for r in range(n)]
     m = largest_pow2_below(n)
     rounds: List[List[Send]] = []
+    if n > ITEMS_EXACT_MAX_N:
+        # item bookkeeping is O(n^2 log n) — elide it at large n, as the
+        # ring builder does, so the schedule stays O(n log n)
+        if m < n:
+            rounds.append([Send(e, e - m, nbytes, ()) for e in range(m, n)])
+        for i in range(int(math.log2(m))):
+            rounds.append(
+                [Send(r, r ^ (1 << i), nbytes, ()) for r in range(m)]
+            )
+        if m < n:
+            rounds.append(
+                [Send(e - m, e, nbytes, (("reduced", 0),)) for e in range(m, n)]
+            )
+        return Schedule(
+            "allreduce", "butterfly", n, nbytes, 1, _freeze(rounds),
+            items_elided=True,
+        )
+    owned = [{("contrib", r, 0)} for r in range(n)]
     if m < n:
         rounds.append(_fold_in(n, nbytes, owned))
     for i in range(int(math.log2(m))):

@@ -62,9 +62,25 @@ class CollectivePlan:
 
 
 class Autotuner:
-    """Caching algorithm selector over the analytic cost models."""
+    """Caching algorithm selector over the analytic cost models.
 
-    def __init__(self, model: Optional[CommCostModel] = None) -> None:
+    ``backend=`` (a tier name or :class:`repro.backend.CommBackend`)
+    supplies the analytic parameter set *and* the cross-validation
+    ground truth: :meth:`crossvalidate` replays plans on that backend's
+    fidelity instead of building its own DES cluster.
+    """
+
+    def __init__(
+        self, model: Optional[CommCostModel] = None, backend=None
+    ) -> None:
+        if backend is not None:
+            from repro.backend import resolve_backend
+
+            backend = resolve_backend(backend)
+            if model is not None:
+                raise ValueError("pass model= or backend=, not both")
+            model = backend.model
+        self.backend = backend
         self.model = model or arctic_cost_model()
         self._cache: Dict[Tuple[str, int, int, Priority], CollectivePlan] = {}
         self.hits = 0
@@ -136,8 +152,13 @@ class Autotuner:
     # ---- DES cross-validation ------------------------------------------
 
     def crossvalidate(self, plan: CollectivePlan, cluster=None) -> Dict[str, float]:
-        """Replay the plan's schedule on the DES cluster; returns
-        ``{"predicted_s", "des_s", "rel_err"}``."""
+        """Replay the plan's schedule packet-by-packet; returns
+        ``{"predicted_s", "des_s", "rel_err"}``.
+
+        The replay always runs the plan's *actual* schedule on the DES
+        cluster — the packet-level ground truth every backend tier is
+        anchored to.  Pass ``cluster=`` to reuse one.
+        """
         from repro.hardware.cluster import HyadesCluster
 
         from .des_exec import des_time_schedule

@@ -56,9 +56,21 @@ class CoupledModel:
         self.ocean = ocean
         self.params = params or CouplerParams()
         self.couplings = 0
+        self.windows_run = 0
         self._hx_atm = HaloExchanger(atmosphere.decomp)
         self._hx_ocn = HaloExchanger(ocean.decomp)
         self.exchange_boundary_conditions()
+
+    def backends(self) -> list:
+        """The distinct communication backends of both components (one
+        entry when the isomorphs share a backend instance, as
+        :func:`coupled_model` arranges)."""
+        out = []
+        for m in (self.atmosphere, self.ocean):
+            be = m.runtime.backend
+            if all(be is not b for b in out):
+                out.append(be)
+        return out
 
     # ------------------------------------------------------------------
 
@@ -91,12 +103,20 @@ class CoupledModel:
                 args={"coupling": self.couplings},
             )
 
-    def step_coupled(self) -> None:
-        """Advance both components one coupling window, then couple."""
+    def step_coupled(self, faulted: bool = False) -> None:
+        """Advance both components one coupling window, then couple.
+
+        ``faulted`` marks the window as contested (injected faults,
+        recovery in progress): window-switching backends like the hybrid
+        tier answer it at DES fidelity.
+        """
+        for be in self.backends():
+            be.begin_window(self.windows_run, faulted=faulted)
         n = self.params.coupling_interval
         self.atmosphere.run(n)
         self.ocean.run(n)
         self.exchange_boundary_conditions()
+        self.windows_run += 1
 
     def run(self, n_windows: int) -> None:
         """Advance ``n_windows`` coupling windows."""
@@ -288,16 +308,30 @@ def coupled_model(
     dt: float = 405.0,
     coupling_interval: int = 4,
     depth: Optional[np.ndarray] = None,
+    backend=None,
     **kw,
 ) -> CoupledModel:
     """Build the paper's synchronous coupled configuration.
 
     Both isomorphs share the lateral grid and time step (synchronous
     coupling); each runs on its own sixteen-rank half of the cluster.
+
+    ``backend`` selects the communication fidelity ("des" / "analytic"
+    / "hybrid", or a :class:`repro.backend.CommBackend` instance); one
+    shared instance serves both isomorphs, so the DES tier's memoized
+    measurements and the hybrid tier's window switching are common to
+    the whole coupled run.
     """
+    from repro.backend import resolve_backend
     from repro.gcm.atmosphere import atmosphere_model
     from repro.gcm.ocean import ocean_model
 
-    atm = atmosphere_model(nx=nx, ny=ny, nz=nz_atm, px=px, py=py, dt=dt, **kw)
-    ocn = ocean_model(nx=nx, ny=ny, nz=nz_ocn, px=px, py=py, dt=dt, depth=depth, **kw)
+    backend = resolve_backend(backend, model=kw.pop("cost_model", None))
+    atm = atmosphere_model(
+        nx=nx, ny=ny, nz=nz_atm, px=px, py=py, dt=dt, backend=backend, **kw
+    )
+    ocn = ocean_model(
+        nx=nx, ny=ny, nz=nz_ocn, px=px, py=py, dt=dt, depth=depth,
+        backend=backend, **kw,
+    )
     return CoupledModel(atm, ocn, CouplerParams(coupling_interval=coupling_interval))

@@ -41,7 +41,7 @@ from repro.gcm.prognostic import (
     provisional_velocity,
 )
 from repro.gcm.state import ModelState
-from repro.network.costmodel import CommCostModel, arctic_cost_model
+from repro.network.costmodel import CommCostModel
 from repro.parallel.exchange import HaloExchanger, exchange_halos
 from repro.parallel.runtime import LockstepRuntime, MachineModel
 from repro.parallel.tiling import Decomposition
@@ -65,6 +65,12 @@ class ModelConfig:
     physics: Any = None
     cg_tol: float = 1e-7
     cg_maxiter: int = 200
+    #: Communication fidelity: a tier name ("des" / "analytic" /
+    #: "hybrid"), a :class:`repro.backend.CommBackend` instance, or
+    #: ``None`` for the legacy analytic default.
+    backend: Any = None
+    #: Analytic parameter set for a backend built from a tier name (a
+    #: backend *instance* carries its own model).
     cost_model: Optional[CommCostModel] = None
     machine: MachineModel = dc_field(default_factory=MachineModel)
     tracer_name: str = "salt"  # "salt" (ocean) or "q" (atmosphere)
@@ -139,9 +145,11 @@ class Model:
         cpn = config.cpus_per_node
         if self.decomp.n_ranks % cpn:
             cpn = 1
+        from repro.backend import resolve_backend
+
         self.runtime = runtime or LockstepRuntime(
             self.decomp,
-            cost_model=config.cost_model or arctic_cost_model(),
+            backend=resolve_backend(config.backend, model=config.cost_model),
             cpus_per_node=cpn,
             machine=config.machine,
         )
@@ -401,7 +409,7 @@ class Model:
 
         # charge: per iteration one 2-field 3-D halo-1 exchange + 2 gsums
         rt = self.runtime
-        cm = rt.cost_model
+        be = rt.backend
         ni = max(result.iterations, 1)
         per_iter = fc.total / ni / self.decomp.n_ranks
         interior = max(
@@ -414,8 +422,8 @@ class Model:
         rt.sync()
         rt.charge_phase(
             compute=ni * per_iter / rt.machine.fds,
-            exchange=ni * 2 * cm.exchange_time(edges, mixmode=rt.mixmode, n_ranks=rt.n_ranks),
-            gsum=ni * 2 * cm.gsum_time(rt.n_nodes, smp=rt.mixmode),
+            exchange=ni * 2 * be.exchange_time(edges, mixmode=rt.mixmode, n_ranks=rt.n_ranks),
+            gsum=ni * 2 * be.gsum_time(rt.n_nodes, smp=rt.mixmode),
             flops=fc.total,
             n_exchanges=2 * ni,
             n_gsums=2 * ni,
@@ -429,7 +437,7 @@ class Model:
         exchange, two global sums (Sections 4, 5.2).
         """
         rt = self.runtime
-        cm = rt.cost_model
+        be = rt.backend
         ni = max(cg_res.iterations, 1)
         n_ds_tiles = self.ds_decomp.n_ranks
         # per-iteration per-DS-tile compute time at Fds
@@ -441,8 +449,8 @@ class Model:
             key=lambda r: sum(self.ds_decomp.edge_bytes(nz=1, width=1, rank=r)),
         )
         edges = self.ds_decomp.edge_bytes(nz=1, width=1, rank=interior)
-        t_exch = ni * 2 * cm.exchange_time(edges, mixmode=False)
-        t_gsum = ni * 2 * cm.gsum_time(rt.n_nodes, smp=rt.mixmode)
+        t_exch = ni * 2 * be.exchange_time(edges, mixmode=False)
+        t_gsum = ni * 2 * be.gsum_time(rt.n_nodes, smp=rt.mixmode)
         rt.sync()
         rt.charge_phase(
             compute=t_compute,

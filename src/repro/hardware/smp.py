@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.network.overheads import COPY_BANDWIDTH, SLAVE_BW_FACTOR
 from repro.sim import Engine, Signal
 from repro.niu.startx import StarTX
 
@@ -31,9 +32,9 @@ class SMPParams:
     #: One shared-memory semaphore operation (lock/post).
     semaphore_cost: float = 0.5e-6
     #: Strided copy bandwidth of the memory system (halo pack/unpack).
-    memcpy_bandwidth: float = 100e6
+    memcpy_bandwidth: float = COPY_BANDWIDTH
     #: Mix-mode slave relay bandwidth factor (Section 4.1: ~30 % lower).
-    slave_bw_factor: float = 0.7
+    slave_bw_factor: float = SLAVE_BW_FACTOR
 
     @property
     def smp_gsum_overhead(self) -> float:

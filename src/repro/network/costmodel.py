@@ -30,6 +30,9 @@ from typing import Mapping, Optional, Sequence
 from repro.network.overheads import (  # noqa: F401  (re-exported)
     ARCTIC_GSUM_OFFSET,
     ARCTIC_GSUM_SLOPE,
+    COPY_BANDWIDTH,
+    SLAVE_BW_FACTOR,
+    SMP_LOCAL_COST,
     TRANSFER_BANDWIDTH,
     TRANSFER_OVERHEAD,
 )
@@ -195,9 +198,9 @@ def arctic_cost_model() -> CommCostModel:
         gsum_offset=ARCTIC_GSUM_OFFSET,
         gsum_measured=dict(ARCTIC_GSUM_MEASURED),
         gsum_smp_measured=dict(ARCTIC_GSUM_SMP_MEASURED),
-        smp_local_cost=1.0 * US,
-        slave_bw_factor=0.7,
-        copy_bandwidth=100 * MB,
+        smp_local_cost=SMP_LOCAL_COST,
+        slave_bw_factor=SLAVE_BW_FACTOR,
+        copy_bandwidth=COPY_BANDWIDTH,
     )
 
 

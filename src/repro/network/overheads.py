@@ -57,3 +57,17 @@ TRANSFER_BANDWIDTH = 110e6
 #: Minimum billable wire payload: a dataless beacon (e.g. a barrier
 #: token) still moves one 8-byte word through the fabric.
 MIN_WIRE_BYTES = 8
+
+#: Strided halo pack/unpack bandwidth through the PII memory system
+#: (Section 4.1, ~100 MB/s) — also the MPI eager bounce-buffer copy
+#: rate, since both are the same 100-MHz SDRAM strided-copy path.
+COPY_BANDWIDTH = 100e6
+
+#: Mix-mode slave relay: slave-to-slave VI bandwidth is ~30 % below
+#: master-to-master (Section 4.1), so the effective rate is
+#: ``bandwidth * SLAVE_BW_FACTOR``.
+SLAVE_BW_FACTOR = 0.7
+
+#: The intra-SMP combine adds "about 1 usec" to a global sum
+#: (Section 4.2): two shared-memory semaphore operations.
+SMP_LOCAL_COST = 1.0 * US

@@ -21,8 +21,49 @@ import numpy as np
 from repro.parallel.tiling import Decomposition
 
 
-def _copy(dst: np.ndarray, dst_rows, dst_cols, src: np.ndarray, src_rows, src_cols) -> None:
-    dst[..., dst_rows, dst_cols] = src[..., src_rows, src_cols]
+def _build_plan(decomp: Decomposition, w: int) -> list:
+    """Precompute the copy schedule of a width-``w`` exchange.
+
+    Each entry is ``(dst_rank, dst_index, src_rank, src_index)`` with the
+    index tuples ready for fancy-free slice assignment; executing the
+    entries in order reproduces the two-pass fill exactly (x first over
+    interior rows, then y over the full width including fresh x halos).
+    """
+    o = decomp.olx
+    plan = []
+    # Pass 1: x-direction (west/east), interior rows only.
+    for r, t in enumerate(decomp.tiles):
+        rows = slice(o, o + t.ny)
+        wn = decomp.neighbor(r, "west")
+        if wn is not None:
+            nx_n = decomp.tiles[wn].nx
+            plan.append((
+                r, (Ellipsis, rows, slice(o - w, o)),
+                wn, (Ellipsis, rows, slice(o + nx_n - w, o + nx_n)),
+            ))
+        en = decomp.neighbor(r, "east")
+        if en is not None:
+            plan.append((
+                r, (Ellipsis, rows, slice(o + t.nx, o + t.nx + w)),
+                en, (Ellipsis, rows, slice(o, o + w)),
+            ))
+    # Pass 2: y-direction (south/north), full x extent including x halos.
+    for r, t in enumerate(decomp.tiles):
+        cols = slice(o - w, o + t.nx + w)
+        sn = decomp.neighbor(r, "south")
+        if sn is not None:
+            ny_n = decomp.tiles[sn].ny
+            plan.append((
+                r, (Ellipsis, slice(o - w, o), cols),
+                sn, (Ellipsis, slice(o + ny_n - w, o + ny_n), cols),
+            ))
+        nn = decomp.neighbor(r, "north")
+        if nn is not None:
+            plan.append((
+                r, (Ellipsis, slice(o + t.ny, o + t.ny + w), cols),
+                nn, (Ellipsis, slice(o, o + w), cols),
+            ))
+    return plan
 
 
 def exchange_halos(
@@ -36,6 +77,11 @@ def exchange_halos(
     ``(ny+2o, nx+2o)`` or 3-D ``(nz, ny+2o, nx+2o)``).  ``width`` can
     request a narrower exchange than the allocated halo (e.g. width-1
     exchanges in DS within width-3 halos).
+
+    The copy schedule depends only on the decomposition and the width,
+    so it is built once and cached on the decomposition — the CG solver
+    calls this at every iteration, making the per-call slice arithmetic
+    a measured hot path.
     """
     if len(fields) != decomp.n_ranks:
         raise ValueError(
@@ -51,56 +97,60 @@ def exchange_halos(
         raise ValueError(f"exchange width {w} exceeds halo {o}")
     if w == 0:
         return
-
-    # Pass 1: x-direction (west/east), interior rows only.
-    for r, t in enumerate(decomp.tiles):
-        rows = slice(o, o + t.ny)
-        wn = decomp.neighbor(r, "west")
-        if wn is not None:
-            src = fields[wn]
-            nx_n = decomp.tiles[wn].nx
-            _copy(
-                fields[r], rows, slice(o - w, o),
-                src, rows, slice(o + nx_n - w, o + nx_n),
-            )
-        en = decomp.neighbor(r, "east")
-        if en is not None:
-            src = fields[en]
-            _copy(
-                fields[r], rows, slice(o + t.nx, o + t.nx + w),
-                src, rows, slice(o, o + w),
-            )
-
-    # Pass 2: y-direction (south/north), full x extent including x halos.
-    for r, t in enumerate(decomp.tiles):
-        cols = slice(o - w, o + t.nx + w)
-        sn = decomp.neighbor(r, "south")
-        if sn is not None:
-            src = fields[sn]
-            ny_n = decomp.tiles[sn].ny
-            _copy(
-                fields[r], slice(o - w, o), cols,
-                src, slice(o + ny_n - w, o + ny_n), cols,
-            )
-        nn = decomp.neighbor(r, "north")
-        if nn is not None:
-            src = fields[nn]
-            _copy(
-                fields[r], slice(o + t.ny, o + t.ny + w), cols,
-                src, slice(o, o + w), cols,
-            )
+    cache = getattr(decomp, "_exchange_plans", None)
+    if cache is None:
+        cache = decomp._exchange_plans = {}
+    plan = cache.get(w)
+    if plan is None:
+        plan = cache[w] = _build_plan(decomp, w)
+    for dst, di, src, si in plan:
+        fields[dst][di] = fields[src][si]
 
 
 class HaloExchanger:
-    """Convenience binding of a decomposition for repeated exchanges."""
+    """Convenience binding of a decomposition for repeated exchanges.
 
-    def __init__(self, decomp: Decomposition) -> None:
+    With a ``backend`` (tier name or :class:`repro.backend.CommBackend`)
+    each exchange also accumulates its worst-rank communication cost in
+    :attr:`elapsed` — the standalone-benchmark counterpart of the
+    virtual time :class:`~repro.parallel.runtime.LockstepRuntime`
+    charges; without one the exchanger stays a free data mover.
+    """
+
+    def __init__(
+        self,
+        decomp: Decomposition,
+        backend=None,
+        mixmode: bool = False,
+        itemsize: int = 8,
+    ) -> None:
         self.decomp = decomp
         self.count = 0
+        if backend is not None:
+            from repro.backend import resolve_backend
+
+            backend = resolve_backend(backend)
+        self.backend = backend
+        self.mixmode = mixmode
+        self.itemsize = itemsize
+        #: Accumulated worst-rank exchange seconds (0.0 without backend).
+        self.elapsed = 0.0
 
     def __call__(self, fields: Sequence[np.ndarray], width: Optional[int] = None) -> None:
         exchange_halos(self.decomp, fields, width)
         self.count += 1
+        if self.backend is not None:
+            nz = 1 if fields[0].ndim == 2 else fields[0].shape[0]
+            self.elapsed += max(
+                self.backend.exchange_time(
+                    self.decomp.edge_bytes(
+                        nz=nz, width=width, itemsize=self.itemsize, rank=r
+                    ),
+                    mixmode=self.mixmode,
+                    n_ranks=self.decomp.n_ranks,
+                )
+                for r in range(self.decomp.n_ranks)
+            )
 
     def gather_global(self, fields: Sequence[np.ndarray]) -> np.ndarray:
         """Assemble the global (interior-only) field from the tiles."""

@@ -154,11 +154,12 @@ class GlobalSummer:
     locally (Section 4.2).  Any node count is accepted; non-power-of-two
     counts fold per :func:`butterfly_global_sum`.
 
-    ``algorithm="auto"`` consults the :class:`repro.collectives.Autotuner`
-    for the cheapest all-reduce schedule at this node count; the chosen
-    plan is exposed as ``self.plan`` (timing only — every candidate
-    reduces in the canonical order, so the numeric result is identical
-    by construction and is still computed via the butterfly).
+    ``algorithm="auto"`` consults the ``backend``'s collectives tuner
+    (the :class:`repro.collectives.Autotuner`) for the cheapest
+    all-reduce schedule at this node count; the chosen plan is exposed
+    as ``self.plan`` (timing only — every candidate reduces in the
+    canonical order, so the numeric result is identical by construction
+    and is still computed via the butterfly).
     """
 
     def __init__(
@@ -166,6 +167,7 @@ class GlobalSummer:
         n_ranks: int,
         cpus_per_node: int = 1,
         algorithm: str = "butterfly",
+        backend=None,
         tuner: Optional[object] = None,
     ) -> None:
         if n_ranks % max(cpus_per_node, 1):
@@ -178,11 +180,22 @@ class GlobalSummer:
         self.count = 0
         self.algorithm = algorithm
         self.plan = None
+        if tuner is not None:
+            from repro.backend import deprecated_kwarg
+
+            if backend is not None:
+                raise ValueError("pass backend= alone; tuner= is deprecated")
+            deprecated_kwarg("GlobalSummer(tuner=)", "backend=")
         if algorithm == "auto":
             if tuner is None:
-                from repro.collectives.tuner import Autotuner
+                from repro.backend import resolve_backend
 
-                tuner = Autotuner()
+                be = resolve_backend(backend or "analytic")
+                tuner = getattr(be, "tuner", None)
+                if tuner is None:
+                    from repro.collectives.tuner import Autotuner
+
+                    tuner = Autotuner(be.model)
             self.plan = tuner.plan("allreduce", self.n_nodes, nbytes=8)
             self.algorithm = self.plan.algorithm
         elif algorithm != "butterfly":

@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from repro.hardware.cluster import HyadesCluster
+from repro.network.overheads import COPY_BANDWIDTH
 from repro.network.packet import Packet, Priority
 from repro.niu.startx import VI_FRAG_BYTES
 from repro.sim import Signal
@@ -35,8 +36,9 @@ from repro.sim import Signal
 #: Software cost to traverse the MPI matching/progress engine, per
 #: message per side (mid-1990s MPICH-class stacks on 400 MHz CPUs).
 MPI_MATCH_COST = 3.0e-6
-#: Copy through the eager bounce buffer (one per side).
-MPI_COPY_BANDWIDTH = 100e6
+#: Copy through the eager bounce buffer (one per side) — the same
+#: strided memory-system path as the halo pack (shared constant).
+MPI_COPY_BANDWIDTH = COPY_BANDWIDTH
 #: Messages above this negotiate rendezvous (classic MPICH default).
 MPI_EAGER_THRESHOLD = 1024
 

@@ -23,7 +23,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
-from repro.network.costmodel import CommCostModel, arctic_cost_model
+from repro.backend import CommBackend, deprecated_kwarg, resolve_backend
+from repro.network.costmodel import CommCostModel
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import MetricsRecorder
 from repro.parallel.exchange import exchange_halos
@@ -76,10 +77,11 @@ class LockstepRuntime:
     def __init__(
         self,
         decomp: Decomposition,
-        cost_model: Optional[CommCostModel] = None,
+        backend=None,
         cpus_per_node: int = 1,
         machine: Optional[MachineModel] = None,
         record_timeline: bool = False,
+        cost_model: Optional[CommCostModel] = None,
         tuner=None,
     ) -> None:
         if cpus_per_node < 1:
@@ -87,12 +89,21 @@ class LockstepRuntime:
         if decomp.n_ranks % cpus_per_node:
             raise ValueError("rank count must be a multiple of cpus_per_node")
         self.decomp = decomp
-        self.cost_model = cost_model or arctic_cost_model()
+        if isinstance(backend, CommCostModel):
+            # positional caller from the pre-backend signature
+            deprecated_kwarg("LockstepRuntime(decomp, cost_model)", "backend=")
+            backend, cost_model = None, backend
+        elif cost_model is not None or tuner is not None:
+            if backend is not None:
+                raise ValueError(
+                    "pass backend= alone; cost_model=/tuner= are its "
+                    "deprecated spellings"
+                )
+            deprecated_kwarg("LockstepRuntime(cost_model=/tuner=)", "backend=")
+        #: The :class:`repro.backend.CommBackend` quoting every
+        #: communication cost this runtime charges.
+        self.backend = resolve_backend(backend, model=cost_model, tuner=tuner)
         self.cpus_per_node = cpus_per_node
-        #: Optional :class:`repro.collectives.Autotuner`: when set, global
-        #: sums and barriers are charged the tuned best-known collective's
-        #: analytic time instead of the measured-table gsum cost.
-        self.tuner = tuner
         self.machine = machine or MachineModel()
         self.n_ranks = decomp.n_ranks
         self.n_nodes = self.n_ranks // cpus_per_node
@@ -114,6 +125,16 @@ class LockstepRuntime:
         self.current_phase = "ps"
         #: Track label for trace spans of this runtime's lockstep clock.
         self.trace_label = "bsp"
+
+    @property
+    def cost_model(self) -> CommCostModel:
+        """Deprecated alias: the backend's analytic parameter set."""
+        return self.backend.model
+
+    @property
+    def tuner(self):
+        """Deprecated alias: the backend's collectives tuner (if any)."""
+        return getattr(self.backend, "tuner", None)
 
     def attach_metrics(self, recorder: Optional[MetricsRecorder] = None) -> MetricsRecorder:
         """Attach (and return) a per-phase telemetry recorder."""
@@ -175,7 +196,7 @@ class LockstepRuntime:
             exchange_halos(self.decomp, f, width)
             for r in range(self.n_ranks):
                 edges = self.decomp.edge_bytes(nz=nz, width=width, itemsize=itemsize, rank=r)
-                costs[r] += self.cost_model.exchange_time(
+                costs[r] += self.backend.exchange_time(
                     edges, mixmode=self.mixmode, n_ranks=self.n_ranks
                 )
                 self.stats[r].bytes_exchanged += sum(edges)
@@ -211,10 +232,7 @@ class LockstepRuntime:
     def global_sum(self, values: Sequence[float]) -> float:
         """All-reduce one scalar per rank; synchronizes every clock."""
         result = self._summer(values)
-        if self.tuner is not None:
-            t_g = self.tuner.allreduce_time(self.n_nodes, 8, smp=self.mixmode)
-        else:
-            t_g = self.cost_model.gsum_time(self.n_nodes, smp=self.mixmode)
+        t_g = self.backend.gsum_time(self.n_nodes, 8, smp=self.mixmode)
         before = self.clocks.copy()
         now = float(before.max())
         self.clocks[:] = now + t_g
@@ -232,10 +250,7 @@ class LockstepRuntime:
 
     def barrier(self) -> None:
         """Synchronize clocks (costed like a dataless global sum)."""
-        if self.tuner is not None:
-            t_b = self.tuner.barrier_time(self.n_nodes)
-        else:
-            t_b = self.cost_model.barrier_time(self.n_nodes)
+        t_b = self.backend.barrier_time(self.n_nodes)
         t_start = self.elapsed
         self.clocks[:] = float(self.clocks.max()) + t_b
         if self.metrics is not None:

@@ -76,7 +76,10 @@ def _run_ocean(
     """A small OGCM scenario: the service's real unit of work.
 
     Parameters (all optional): ``nx ny nz px py dt steps`` for the
-    configuration, ``perturb_seed``/``perturb_amp`` for a deterministic
+    configuration, ``backend`` for the communication fidelity tier
+    ("des" / "analytic" / "hybrid" — the state digest is the same on
+    every tier, only virtual phase times differ),
+    ``perturb_seed``/``perturb_amp`` for a deterministic
     initial-condition perturbation (ensemble members), and
     ``checkpoint_every`` steps between coordinated shard checkpoints.
     """
@@ -94,6 +97,7 @@ def _run_ocean(
         px=int(p.get("px", 1)),
         py=int(p.get("py", 1)),
         dt=float(p.get("dt", 1200.0)),
+        backend=p.get("backend"),
     )
     amp = float(p.get("perturb_amp", 0.0))
     if amp:
@@ -123,6 +127,45 @@ def _run_ocean(
         "digest": model_digest(model),
         "steps": model.state.step_count,
         "resumed_from_step": resumed_from,
+    }
+
+
+def _run_sweep(
+    spec: JobSpec, job_dir: Optional[pathlib.Path], beat: Callable[[], None]
+) -> dict:
+    """One Fig. 11-style interconnect sweep point (or a whole curve).
+
+    Parameters (all optional): ``n_values`` — processor counts to
+    evaluate (default the full 16..4096 curve), ``backend`` — the
+    fidelity tier quoting the costs (default ``"analytic"``; the DES
+    tier at N=4096 is exactly the experiment this job kind exists to
+    avoid), ``tile`` — per-processor ``[nx, ny]``, ``nz`` — levels.
+    The digest covers the quoted times and Pfpp values only (never the
+    host wall-clock), so retries reproduce it bit-exactly.
+    """
+    from repro.backend import large_sweep
+
+    p = spec.params
+    report = large_sweep(
+        n_values=tuple(int(n) for n in p.get("n_values", (16, 64, 256, 1024, 4096))),
+        backend=p.get("backend", "analytic"),
+        tile=tuple(p.get("tile", (32, 16))),
+        nz=int(p.get("nz", 10)),
+    )
+    beat()
+    import hashlib
+
+    canon = json.dumps(
+        [
+            {k: v for k, v in row.items() if k != "wall_s"}
+            for row in report["rows"]
+        ],
+        sort_keys=True,
+    )
+    return {
+        "digest": "sweep:" + hashlib.sha1(canon.encode()).hexdigest()[:16],
+        "steps": len(report["rows"]),
+        "sweep": report,
     }
 
 
@@ -179,6 +222,8 @@ def execute_job(
 
     if spec.kind == "ocean":
         result = _run_ocean(spec, job_dir, beat)
+    elif spec.kind == "sweep":
+        result = _run_sweep(spec, job_dir, beat)
     elif spec.kind == "sleep":
         result = _run_sleep(spec, job_dir, beat)
     elif spec.kind == "flaky":

@@ -1,0 +1,93 @@
+"""The stacked-tile CG fast path is bit-exact against the reference loop.
+
+``repro.gcm.cg.FORCE_REFERENCE`` routes stacked-capable operators back
+through the per-tile loop; these tests run identical model
+configurations down both paths and require bitwise-identical prognostic
+state and identical charged flops — the guarantee that lets
+``benchmarks/bench_backend.py`` reconstruct the seed solver cost live.
+"""
+
+import numpy as np
+import pytest
+
+from repro.gcm import cg
+from repro.gcm.grid import Grid, GridParams
+from repro.gcm.ocean import ocean_model
+from repro.gcm.operators import FlopCounter
+from repro.gcm.pressure import EllipticOperator
+from repro.parallel.tiling import Decomposition
+from repro.service.jobs import model_digest
+
+
+@pytest.fixture
+def force_reference():
+    """Temporarily pin the solver to the per-tile reference loop."""
+    saved = cg.FORCE_REFERENCE
+    cg.FORCE_REFERENCE = True
+    try:
+        yield
+    finally:
+        cg.FORCE_REFERENCE = saved
+
+
+def _solve(rhs_global, force):
+    decomp = Decomposition(nx=16, ny=8, px=2, py=2)
+    params = GridParams(nx=16, ny=8, nz=1, lat0=-60, lat1=60, total_depth=50.0)
+    grid = Grid(params, decomp)
+    operator = EllipticOperator(grid)
+    o = decomp.olx
+    rhs = []
+    for t in decomp.tiles:
+        arr = t.alloc2d(float)
+        arr[o : o + t.ny, o : o + t.nx] = rhs_global[
+            t.y0 : t.y0 + t.ny, t.x0 : t.x0 + t.nx
+        ]
+        rhs.append(arr)
+    saved = cg.FORCE_REFERENCE
+    cg.FORCE_REFERENCE = force
+    try:
+        res = cg.preconditioned_cg(operator, rhs, FlopCounter(), tol=1e-12)
+    finally:
+        cg.FORCE_REFERENCE = saved
+    return res
+
+
+class TestStandaloneSolve:
+    def test_solution_bitwise_equal(self):
+        rng = np.random.default_rng(7)
+        rhs = rng.standard_normal((8, 16))
+        rhs -= rhs.mean()  # compatible RHS for the singular operator
+        fast = _solve(rhs, force=False)
+        ref = _solve(rhs, force=True)
+        assert fast.iterations == ref.iterations
+        assert fast.residual == ref.residual
+        assert fast.initial_residual == ref.initial_residual
+        for a, b in zip(fast.x, ref.x):
+            np.testing.assert_array_equal(a, b)
+
+    def test_zero_rhs_short_circuits_both_paths(self):
+        rhs = np.zeros((8, 16))
+        for force in (False, True):
+            res = _solve(rhs, force=force)
+            assert res.converged and res.iterations == 0
+
+
+class TestFullModel:
+    KW = dict(nx=16, ny=8, px=2, py=2, dt=1200.0)
+
+    def _digest_and_flops(self, steps=6, **kw):
+        m = ocean_model(**{**self.KW, **kw})
+        m.run(steps)
+        return model_digest(m), m.runtime.total_flops()
+
+    def test_hydrostatic_model_bit_exact(self, force_reference):
+        ref = self._digest_and_flops(nz=4)
+        cg.FORCE_REFERENCE = False
+        fast = self._digest_and_flops(nz=4)
+        assert fast == ref
+
+    def test_nonhydrostatic_model_bit_exact(self, force_reference):
+        ref = self._digest_and_flops(nz=4, nonhydrostatic=True, cg_tol=1e-11)
+        cg.FORCE_REFERENCE = False
+        fast = self._digest_and_flops(nz=4, nonhydrostatic=True, cg_tol=1e-11)
+        assert fast == ref

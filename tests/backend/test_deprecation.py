@@ -1,0 +1,102 @@
+"""The redesign's compatibility shims: old spellings work but warn."""
+
+import warnings
+
+import pytest
+
+from repro.backend import AnalyticBackend
+from repro.collectives.tuner import Autotuner
+from repro.network.costmodel import arctic_cost_model
+from repro.parallel.globalsum import GlobalSummer
+from repro.parallel.runtime import LockstepRuntime
+from repro.parallel.tiling import Decomposition
+
+
+def _decomp():
+    return Decomposition(nx=16, ny=8, px=2, py=2)
+
+
+class TestLockstepRuntime:
+    def test_cost_model_kwarg_warns_and_works(self):
+        model = arctic_cost_model()
+        with pytest.warns(DeprecationWarning, match="backend="):
+            rt = LockstepRuntime(_decomp(), cost_model=model)
+        assert rt.backend.model is model
+
+    def test_positional_cost_model_warns_and_works(self):
+        model = arctic_cost_model()
+        with pytest.warns(DeprecationWarning, match="backend="):
+            rt = LockstepRuntime(_decomp(), model)
+        assert rt.backend.model is model
+
+    def test_tuner_kwarg_warns_and_threads_through(self):
+        tuner = Autotuner(arctic_cost_model())
+        with pytest.warns(DeprecationWarning, match="backend="):
+            rt = LockstepRuntime(_decomp(), tuner=tuner)
+        assert rt.tuner is tuner
+
+    def test_backend_plus_legacy_kwarg_rejected(self):
+        with pytest.raises(ValueError, match="deprecated spellings"):
+            LockstepRuntime(
+                _decomp(), backend="analytic", cost_model=arctic_cost_model()
+            )
+
+    def test_cost_model_property_aliases_backend_model(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # the new spelling must not warn
+            rt = LockstepRuntime(_decomp(), backend="analytic")
+        assert rt.cost_model is rt.backend.model
+
+    def test_new_spelling_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            LockstepRuntime(_decomp(), backend=AnalyticBackend())
+
+
+class TestGlobalSummer:
+    def test_tuner_kwarg_warns(self):
+        tuner = Autotuner(arctic_cost_model())
+        with pytest.warns(DeprecationWarning, match="backend="):
+            gs = GlobalSummer(4, algorithm="auto", tuner=tuner)
+        assert gs.plan is not None
+
+    def test_backend_plus_tuner_rejected(self):
+        with pytest.raises(ValueError, match="deprecated"):
+            GlobalSummer(
+                4, algorithm="auto", backend="analytic",
+                tuner=Autotuner(arctic_cost_model()),
+            )
+
+    def test_backend_spelling_is_warning_free(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            GlobalSummer(4, algorithm="auto", backend="analytic")
+
+
+class TestAutotuner:
+    def test_backend_and_model_are_exclusive(self):
+        with pytest.raises(ValueError, match="not both"):
+            Autotuner(arctic_cost_model(), backend="analytic")
+
+    def test_backend_kwarg_supplies_the_model(self):
+        be = AnalyticBackend()
+        tuner = Autotuner(backend=be)
+        assert tuner.model is be.model
+
+
+class TestCLI:
+    def test_engine_flag_warns_and_maps_to_backend(self, capsys):
+        from repro.cli import main
+
+        with pytest.warns(DeprecationWarning, match="--backend"):
+            rc = main(["backend", "--sweep", "--nodes", "16", "--engine", "analytic"])
+        assert rc == 0
+        assert "analytic" in capsys.readouterr().out
+
+    def test_backend_flag_is_warning_free(self, capsys):
+        from repro.cli import main
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            rc = main(["backend", "--sweep", "--nodes", "16", "--backend", "analytic"])
+        assert rc == 0

@@ -18,6 +18,7 @@ QUICK = [
     "interconnect_study.py",
     "network_microbench.py",
     "ensemble_forecast.py",
+    "large_sweep.py",
 ]
 
 
