@@ -54,6 +54,10 @@ echo "== backend cross-validation gate (cheap tiers within 5% of DES) =="
 python -m repro backend --crossval
 
 echo
+echo "== fault-campaign smoke (bit-exact, bounded slowdown, no false evictions) =="
+python -m repro campaign --smoke --out benchmarks/out
+
+echo
 echo "== machine-readable benchmarks (schema'd BENCH_*.json) =="
 python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig02_logp.py \
@@ -61,7 +65,8 @@ python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig09_coupled.py \
   benchmarks/bench_collectives.py \
   benchmarks/bench_service_throughput.py \
-  benchmarks/bench_backend.py
+  benchmarks/bench_backend.py \
+  benchmarks/bench_straggler.py
 
 echo
 echo "== chaos smoke (SIGKILL'd workers + service: nothing lost, bit-exact) =="

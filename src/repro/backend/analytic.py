@@ -80,27 +80,43 @@ class AnalyticBackend(CommBackend):
         edge_bytes: Sequence[int],
         mixmode: bool = False,
         n_ranks: int = 1,
+        node: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> float:
-        """Closed-form exchange cost (Section 4.1 composition)."""
-        return self.model.exchange_time(edge_bytes, mixmode=mixmode, n_ranks=n_ranks)
+        """Closed-form exchange cost (Section 4.1 composition) plus the
+        shared degradation surcharge when a schedule is attached."""
+        t = self.model.exchange_time(edge_bytes, mixmode=mixmode, n_ranks=n_ranks)
+        return t + self._exchange_penalty(edge_bytes, node, now)
 
-    def gsum_time(self, n_nodes: int, nbytes: int = 8, smp: bool = False) -> float:
+    def gsum_time(
+        self,
+        n_nodes: int,
+        nbytes: int = 8,
+        smp: bool = False,
+        now: Optional[float] = None,
+    ) -> float:
         """Tuned schedule-cost gsum (calibrated) or the measured table."""
         if self.tuner is not None:
             if n_nodes > TUNER_MAX_N:
                 t = self._butterfly_time(n_nodes, nbytes)
-                return t + self.model.smp_local_cost if smp else t
-            return self.tuner.allreduce_time(n_nodes, nbytes, smp=smp)
-        return self.model.gsum_time(n_nodes, smp=smp)
+                t = t + self.model.smp_local_cost if smp else t
+            else:
+                t = self.tuner.allreduce_time(n_nodes, nbytes, smp=smp)
+        else:
+            t = self.model.gsum_time(n_nodes, smp=smp)
+        return t + self._collective_penalty(n_nodes, nbytes, now)
 
-    def barrier_time(self, n_nodes: int) -> float:
+    def barrier_time(self, n_nodes: int, now: Optional[float] = None) -> float:
         """Tuned barrier (calibrated) or the dataless-gsum model cost."""
         if self.tuner is not None:
             if n_nodes > TUNER_MAX_N:
                 # the paper's barrier is a dataless gsum: same butterfly
-                return self._butterfly_time(n_nodes, 8)
-            return self.tuner.barrier_time(n_nodes)
-        return self.model.barrier_time(n_nodes)
+                t = self._butterfly_time(n_nodes, 8)
+            else:
+                t = self.tuner.barrier_time(n_nodes)
+        else:
+            t = self.model.barrier_time(n_nodes)
+        return t + self._collective_penalty(n_nodes, 8, now)
 
     def describe(self) -> dict:
         """Adds the calibration flavour to the base description."""

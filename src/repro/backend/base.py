@@ -35,14 +35,24 @@ from repro.network.costmodel import CommCostModel
 BACKEND_NAMES = ("des", "analytic", "hybrid")
 
 
-def deprecated_kwarg(old: str, new: str, extra: str = "") -> None:
+def deprecated_kwarg(
+    old: str, new: str, extra: str = "", stacklevel: int = 3
+) -> None:
     """Emit the standard one-release deprecation warning for a renamed
     runtime keyword (``cost_model=`` / ``tuner=`` / ``engine=`` →
-    ``backend=``)."""
+    ``backend=``).
+
+    The default ``stacklevel`` of 3 attributes the warning to the
+    *caller of the shim owner* — correct when this helper is invoked
+    directly from the deprecated ``__init__``.  A shim that warns from
+    deeper inside (a helper of a helper) must raise it so the warning
+    still lands on the user's line; a test pins the filename for every
+    legacy spelling.
+    """
     warnings.warn(
         f"{old} is deprecated; pass {new} instead{extra}",
         DeprecationWarning,
-        stacklevel=3,
+        stacklevel=stacklevel,
     )
 
 
@@ -63,6 +73,41 @@ class CommBackend(abc.ABC):
     #: not model and for legacy ``runtime.cost_model`` access.
     model: CommCostModel
 
+    #: Attached :class:`~repro.faults.degrade.DegradationSchedule`
+    #: (``None`` = healthy machine).  Every tier composes the SAME
+    #: closed-form penalty from it on top of its own clean quote, so
+    #: des/analytic/hybrid price a degraded node consistently.
+    degradation = None
+
+    # ---- degradation ----------------------------------------------------
+
+    def set_degradation(self, schedule) -> None:
+        """Attach (or clear, with ``None``) a degradation schedule."""
+        self.degradation = schedule
+
+    def _exchange_penalty(
+        self,
+        edge_bytes: Sequence[int],
+        node: Optional[int],
+        now: Optional[float],
+    ) -> float:
+        """Shared degraded-exchange surcharge (0 when healthy or when the
+        caller didn't say *when* the exchange happens)."""
+        d = self.degradation
+        if d is None or now is None:
+            return 0.0
+        return d.exchange_penalty(node, now, edge_bytes, self.model.bandwidth)
+
+    def _collective_penalty(
+        self, n_nodes: int, nbytes: float, now: Optional[float]
+    ) -> float:
+        """Shared degraded-collective surcharge (worst endpoint gates
+        every butterfly round)."""
+        d = self.degradation
+        if d is None or now is None:
+            return 0.0
+        return d.gsum_penalty(now, n_nodes, nbytes, self.model.bandwidth)
+
     # ---- costs ----------------------------------------------------------
 
     @abc.abstractmethod
@@ -71,27 +116,47 @@ class CommBackend(abc.ABC):
         edge_bytes: Sequence[int],
         mixmode: bool = False,
         n_ranks: int = 1,
+        node: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> float:
         """Seconds for one rank's halo exchange (``edge_bytes[i]`` is the
-        message size traded with neighbour ``i``; zero entries are walls)."""
+        message size traded with neighbour ``i``; zero entries are walls).
+
+        ``node``/``now`` locate the exchange on the machine and in
+        virtual time so an attached degradation schedule can price it;
+        omitting them prices the healthy fabric.
+        """
 
     @abc.abstractmethod
-    def gsum_time(self, n_nodes: int, nbytes: int = 8, smp: bool = False) -> float:
+    def gsum_time(
+        self,
+        n_nodes: int,
+        nbytes: int = 8,
+        smp: bool = False,
+        now: Optional[float] = None,
+    ) -> float:
         """Seconds for one N-way all-reduce of an ``nbytes`` payload;
-        ``smp`` adds the intra-SMP combine of the 2xN mix-mode path."""
+        ``smp`` adds the intra-SMP combine of the 2xN mix-mode path.
+        ``now`` lets an attached degradation schedule price the window."""
 
     @abc.abstractmethod
-    def barrier_time(self, n_nodes: int) -> float:
+    def barrier_time(self, n_nodes: int, now: Optional[float] = None) -> float:
         """Seconds for one N-way barrier."""
 
     # ---- window protocol -------------------------------------------------
 
-    def begin_window(self, index: Optional[int] = None, faulted: bool = False) -> None:
+    def begin_window(
+        self,
+        index: Optional[int] = None,
+        faulted: bool = False,
+        degraded: bool = False,
+    ) -> None:
         """Hook called at each coupling-window boundary.
 
         Fixed-fidelity tiers ignore it; the hybrid tier uses ``faulted``
-        (or its attached fault plan and ``index``) to pick the fidelity
-        for the coming window.
+        / ``degraded`` (or its attached fault plan and ``index``) to
+        pick the fidelity for the coming window — a degraded window
+        escalates to DES exactly like a faulted one.
         """
 
     @property

@@ -98,8 +98,16 @@ class DESBackend(CommBackend):
         edge_bytes: Sequence[int],
         mixmode: bool = False,
         n_ranks: int = 1,
+        node: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> float:
-        """Measured wire legs plus the shared pack/relay composition."""
+        """Measured wire legs plus the shared pack/relay composition.
+
+        Degradation is composed closed-form on top of the *clean*
+        measured legs (the memo cache holds healthy-fabric times), using
+        the same shared formula as the other tiers — a regression test
+        keeps it honest against a genuinely degraded live fabric.
+        """
         edges = [int(s) for s in edge_bytes if s > 0]
         t = 0.0
         for s in edges:
@@ -115,9 +123,15 @@ class DESBackend(CommBackend):
                     t += self.pair_time(s) + 2 * (s / self.model.bandwidth) * stretch
         if self.model.copy_bandwidth is not None:
             t += 2 * sum(edges) / self.model.copy_bandwidth
-        return t
+        return t + self._exchange_penalty(edge_bytes, node, now)
 
-    def gsum_time(self, n_nodes: int, nbytes: int = 8, smp: bool = False) -> float:
+    def gsum_time(
+        self,
+        n_nodes: int,
+        nbytes: int = 8,
+        smp: bool = False,
+        now: Optional[float] = None,
+    ) -> float:
         """Measured butterfly global sum (folded beyond powers of two)."""
         if n_nodes < 1:
             raise ValueError("n_nodes must be >= 1")
@@ -126,15 +140,15 @@ class DESBackend(CommBackend):
         t = self._gsum_wire(n_nodes)
         if smp:
             t += self.model.smp_local_cost
-        return t
+        return t + self._collective_penalty(n_nodes, nbytes, now)
 
-    def barrier_time(self, n_nodes: int) -> float:
+    def barrier_time(self, n_nodes: int, now: Optional[float] = None) -> float:
         """Measured dataless global sum."""
         if n_nodes < 2:
             return 0.0
         # the paper's barrier is a dataless global sum: same rounds,
         # same 8-byte beacons — measure it as one
-        return self._gsum_wire(n_nodes)
+        return self._gsum_wire(n_nodes) + self._collective_penalty(n_nodes, 8, now)
 
     def describe(self) -> dict:
         """Adds simulation counts and memo sizes to the description."""

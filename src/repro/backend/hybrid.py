@@ -58,13 +58,26 @@ class HybridBackend(CommBackend):
     def tier(self) -> str:
         return self._active.name
 
-    def begin_window(self, index: Optional[int] = None, faulted: bool = False) -> None:
-        """Pick the window's fidelity: DES when ``faulted`` or listed in
-        :attr:`fault_windows`, analytic otherwise."""
+    def set_degradation(self, schedule) -> None:
+        """Attach the schedule to both children (they compose the shared
+        penalty) and keep a reference for window routing."""
+        self.degradation = schedule
+        self.analytic.set_degradation(schedule)
+        self.des.set_degradation(schedule)
+
+    def begin_window(
+        self,
+        index: Optional[int] = None,
+        faulted: bool = False,
+        degraded: bool = False,
+    ) -> None:
+        """Pick the window's fidelity: DES when ``faulted``/``degraded``
+        or listed in :attr:`fault_windows`, analytic otherwise — a
+        degraded window is contested the same way a faulted one is."""
         if index is None:
             index = -1 if self.window_index is None else self.window_index + 1
         self.window_index = index
-        contested = faulted or index in self.fault_windows
+        contested = faulted or degraded or index in self.fault_windows
         self._active = self.des if contested else self.analytic
         self._windows[self._active.name] += 1
 
@@ -73,20 +86,30 @@ class HybridBackend(CommBackend):
         edge_bytes: Sequence[int],
         mixmode: bool = False,
         n_ranks: int = 1,
+        node: Optional[int] = None,
+        now: Optional[float] = None,
     ) -> float:
         """Active tier's exchange cost."""
         self._queries[self._active.name] += 1
-        return self._active.exchange_time(edge_bytes, mixmode=mixmode, n_ranks=n_ranks)
+        return self._active.exchange_time(
+            edge_bytes, mixmode=mixmode, n_ranks=n_ranks, node=node, now=now
+        )
 
-    def gsum_time(self, n_nodes: int, nbytes: int = 8, smp: bool = False) -> float:
+    def gsum_time(
+        self,
+        n_nodes: int,
+        nbytes: int = 8,
+        smp: bool = False,
+        now: Optional[float] = None,
+    ) -> float:
         """Active tier's global-sum cost."""
         self._queries[self._active.name] += 1
-        return self._active.gsum_time(n_nodes, nbytes, smp=smp)
+        return self._active.gsum_time(n_nodes, nbytes, smp=smp, now=now)
 
-    def barrier_time(self, n_nodes: int) -> float:
+    def barrier_time(self, n_nodes: int, now: Optional[float] = None) -> float:
         """Active tier's barrier cost."""
         self._queries[self._active.name] += 1
-        return self._active.barrier_time(n_nodes)
+        return self._active.barrier_time(n_nodes, now=now)
 
     def tier_stats(self) -> dict:
         """Windows and cost queries served by each fidelity."""

@@ -73,10 +73,11 @@ def _backend_arg(args: argparse.Namespace, default=None):
     if engine is not None:
         import warnings
 
+        # frames: _backend_arg <- _cmd_* <- main <- the caller of main()
         warnings.warn(
             "--engine is deprecated; use --backend",
             DeprecationWarning,
-            stacklevel=2,
+            stacklevel=4,
         )
         if getattr(args, "backend", None) is None:
             return engine
@@ -550,6 +551,57 @@ def _cmd_service(args: argparse.Namespace) -> int:
     return 0 if summary["completed"] == n else 1
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    """Systematic fault campaign: sweep kind x magnitude x tier, audit."""
+    import json as _json
+    import pathlib
+    import tempfile
+
+    from repro.faults.campaign import run_campaign
+
+    root = None
+    if not args.in_process:
+        root = pathlib.Path(
+            args.dir or tempfile.mkdtemp(prefix="repro-campaign-")
+        )
+        print(f"fault campaign via ensemble service in {root}")
+    tiers = args.tiers.split(",") if args.tiers else None
+    scorecard = run_campaign(
+        out_dir=pathlib.Path(args.out),
+        root=root,
+        smoke=args.smoke,
+        tiers=tiers,
+        use_service=not args.in_process,
+        max_workers=args.workers,
+        deadline_s=args.deadline,
+    )
+    if args.json:
+        print(_json.dumps(scorecard, indent=2, sort_keys=True))
+    else:
+        print(
+            f"campaign: {scorecard['n_pass']}/{scorecard['n_scenarios']} "
+            f"scenarios pass, max tier error "
+            f"{scorecard['max_tier_error']:.2%} "
+            f"(band {scorecard['tier_band']:.0%})"
+        )
+        for row in scorecard["scenarios"]:
+            if not row.get("ok"):
+                continue
+            print(
+                f"  ok {row['scenario_id']:34s} "
+                f"slowdown {row['slowdown_ratio']:.2f}x "
+                f"(bound {row['slowdown_bound']:.2f}x) "
+                f"moves={row['moves']}"
+            )
+        for failure in scorecard["failures"]:
+            print(
+                f"  FAIL {failure['scenario']}: {failure['audit']} "
+                f"{failure['detail']}"
+            )
+        print(f"scorecard in {pathlib.Path(args.out) / 'BENCH_campaign.json'}")
+    return 0 if scorecard["ok"] else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -772,6 +824,37 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     _add_backend_flag(p_svc)
     p_svc.set_defaults(func=_cmd_service)
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="systematic fault campaign: sweep fault kind x magnitude x "
+        "timing x scale x backend tier as service jobs and audit "
+        "bit-exactness, bounded slowdown and detector behaviour",
+    )
+    p_camp.add_argument(
+        "--smoke", action="store_true",
+        help="reduced CI grid (one cross-tier point + one scenario per kind)",
+    )
+    p_camp.add_argument(
+        "--dir", help="service root (default: a fresh temp directory)"
+    )
+    p_camp.add_argument(
+        "--out", default=".", help="directory for BENCH_campaign.json"
+    )
+    p_camp.add_argument(
+        "--tiers", help="comma-separated backend tiers (default des,analytic,hybrid)"
+    )
+    p_camp.add_argument(
+        "--in-process", action="store_true",
+        help="run scenarios inline instead of as ensemble-service jobs",
+    )
+    p_camp.add_argument("--workers", type=int, default=2)
+    p_camp.add_argument(
+        "--deadline", type=float, default=300.0,
+        help="per-job fixed deadline ceiling (seconds)",
+    )
+    p_camp.add_argument("--json", action="store_true", help="print the raw scorecard")
+    p_camp.set_defaults(func=_cmd_campaign)
 
     p_century = sub.add_parser("century", help="the Section 6 century projection")
     p_century.set_defaults(func=_cmd_century)

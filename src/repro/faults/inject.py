@@ -1,15 +1,16 @@
 """Wiring a :class:`FaultPlan` into a live fat tree.
 
 The injector installs per-link fault hooks (drop/corrupt draws from the
-plan's per-link RNGs), schedules bandwidth-degradation windows and node
-stall/crash events on the engine, and aggregates counters for the run
-report.
+plan's per-link RNGs), schedules bandwidth/latency-degradation windows,
+NIC-jitter windows (seeded per-packet delay hooks), CPU-slowdown windows
+(when given the cluster's NIUs) and node stall/crash events on the
+engine, and aggregates counters for the run report.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import Mapping, Optional
 
 from repro.network.fattree import FatTree
 from repro.network.packet import Packet
@@ -18,14 +19,27 @@ from repro.faults.plan import FaultPlan
 
 
 class FaultInjector:
-    """Installs a fault plan on a fabric and counts what it injects."""
+    """Installs a fault plan on a fabric and counts what it injects.
 
-    def __init__(self, fabric: FatTree, plan: FaultPlan) -> None:
+    ``nius`` (node id -> NIU with a ``cpu_factor`` attribute, e.g. a
+    :class:`~repro.niu.startx.StarTX`) is required only when the plan
+    schedules :class:`~repro.faults.plan.SlowdownEvent` windows — CPU
+    slowdown lives in the endpoint, not the wire.
+    """
+
+    def __init__(
+        self,
+        fabric: FatTree,
+        plan: FaultPlan,
+        nius: Optional[Mapping[int, object]] = None,
+    ) -> None:
         self.fabric = fabric
         self.plan = plan
+        self.nius = nius
         self.engine = fabric.engine
         self.injected_drops = 0
         self.injected_corruptions = 0
+        self.injected_jitter_delays = 0
         self.hooked_links: list[Link] = []
         self._install()
 
@@ -40,7 +54,14 @@ class FaultInjector:
         for ev in self.plan.degradations:
             for link in self.fabric.iter_links():
                 if ev.link in link.name:
-                    self._schedule_degradation(link, ev.start, ev.duration, ev.factor)
+                    self._schedule_degradation(
+                        link, ev.start, ev.duration, ev.factor, ev.extra_latency
+                    )
+        for jt in self.plan.jitters:
+            for link in self.fabric.node_links(jt.node):
+                self._install_jitter(link, jt)
+        for sl in self.plan.slowdowns:
+            self._schedule_slowdown(sl)
         for st in self.plan.stalls:
             for link in self.fabric.node_links(st.node):
                 self.engine.schedule(
@@ -67,16 +88,61 @@ class FaultInjector:
         return hook
 
     def _schedule_degradation(
-        self, link: Link, start: float, duration: float, factor: float
+        self,
+        link: Link,
+        start: float,
+        duration: float,
+        factor: float,
+        extra_latency: float = 0.0,
     ) -> None:
         def begin() -> None:
             link.rate_factor *= factor
+            link.latency_extra += extra_latency
 
         def end() -> None:
             link.rate_factor /= factor
+            link.latency_extra -= extra_latency
 
         self.engine.schedule(start, begin)
         self.engine.schedule(start + duration, end)
+
+    def _install_jitter(self, link: Link, ev) -> None:
+        """Seeded per-packet delay on ``link`` during the event window.
+
+        The RNG key is derived from the link name plus the event's
+        schedule, so two jitter events on the same node draw independent
+        (but still reproducible) sequences.
+        """
+        rng = random.Random(
+            self.plan.link_seed(f"{link.name}:jitter@{ev.start}:{ev.amp}")
+        )
+        prev_hook = link.delay_hook
+
+        def hook(pkt: Packet, _end: float = ev.start + ev.duration) -> float:
+            delay = prev_hook(pkt) if prev_hook is not None else 0.0
+            if ev.start <= self.engine.now < _end:
+                self.injected_jitter_delays += 1
+                delay += rng.random() * ev.amp
+            return delay
+
+        link.delay_hook = hook
+
+    def _schedule_slowdown(self, ev) -> None:
+        if self.nius is None or ev.node not in self.nius:
+            raise ValueError(
+                f"plan schedules a CPU slowdown on node {ev.node} but the "
+                "injector was not given that node's NIU (pass nius=...)"
+            )
+        niu = self.nius[ev.node]
+
+        def begin() -> None:
+            niu.cpu_factor *= ev.factor
+
+        def end() -> None:
+            niu.cpu_factor /= ev.factor
+
+        self.engine.schedule(ev.start, begin)
+        self.engine.schedule(ev.start + ev.duration, end)
 
     # -- reporting ------------------------------------------------------
 
@@ -85,6 +151,7 @@ class FaultInjector:
         out = dict(self.fabric.fault_counters())
         out["injected_drops"] = self.injected_drops
         out["injected_corruptions"] = self.injected_corruptions
+        out["injected_jitter_delays"] = self.injected_jitter_delays
         return out
 
     def per_link_counters(self) -> list[tuple[str, int, int]]:

@@ -6,6 +6,15 @@ dedicated :class:`random.Random` seeded by ``(plan.seed, link name)``,
 so a link sees the same fault decisions for the same packet sequence
 regardless of what happens elsewhere in the fabric — and two runs of
 the same workload under the same plan inject *identical* faults.
+
+Beyond the binary faults (drop/corrupt/stall/crash) a plan can schedule
+*performance* faults — the degraded-but-alive states that dominate on
+commodity clusters: :class:`SlowdownEvent` (a node's CPU runs slower for
+a window), :class:`BandwidthEvent` (a link loses bandwidth and/or gains
+latency) and :class:`JitterEvent` (a flaky NIC adds seeded per-packet
+delay).  Plans round-trip through :meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict`, so a campaign scenario can ship its exact
+fault schedule inside a service job spec.
 """
 
 from __future__ import annotations
@@ -38,23 +47,71 @@ class LinkFaultModel:
 @dataclass(frozen=True)
 class BandwidthEvent:
     """Transient degradation: scale a link's bandwidth by ``factor``
-    during ``[start, start + duration)`` of virtual time.
+    (and add ``extra_latency`` seconds per packet) during
+    ``[start, start + duration)`` of virtual time.
 
     ``link`` is matched as a substring of the link name (e.g. ``"niu3^"``
     for node 3's injection link, ``"R1.0.0"`` for every link of that
-    router).
+    router).  ``factor`` follows ``Link.rate_factor`` semantics: values
+    below 1 degrade (0.25 = a quarter of the nominal bandwidth).
     """
 
     link: str
     start: float
     duration: float
     factor: float
+    extra_latency: float = 0.0
 
     def __post_init__(self) -> None:
         if self.factor <= 0:
             raise ValueError("bandwidth factor must be positive")
         if self.duration <= 0:
             raise ValueError("duration must be positive")
+        if self.extra_latency < 0:
+            raise ValueError("extra_latency must be non-negative")
+
+
+@dataclass(frozen=True)
+class SlowdownEvent:
+    """Node ``node``'s CPUs run ``factor`` times slower during
+    ``[start, start + duration)``: compute (and PIO register traffic)
+    takes ``factor`` times as long.  ``factor`` must be >= 1."""
+
+    node: int
+    start: float
+    duration: float
+    factor: float
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise ValueError("slowdown factor must be >= 1 (1 = no slowdown)")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+
+@dataclass(frozen=True)
+class JitterEvent:
+    """Flaky NIC: node ``node``'s links add a seeded per-packet delay
+    drawn uniformly from ``[0, amp)`` seconds during
+    ``[start, start + duration)``.  The draws come from the plan's
+    per-link RNG discipline, so two runs of the same workload under the
+    same plan see identical jitter."""
+
+    node: int
+    start: float
+    duration: float
+    amp: float
+
+    def __post_init__(self) -> None:
+        if self.amp <= 0:
+            raise ValueError("jitter amplitude must be positive")
+        if self.duration <= 0:
+            raise ValueError("duration must be positive")
+
+    @property
+    def mean_delay(self) -> float:
+        """Expected per-packet delay (uniform on ``[0, amp)``)."""
+        return self.amp / 2.0
 
 
 @dataclass(frozen=True)
@@ -91,6 +148,8 @@ class FaultPlan:
     degradations: Tuple[BandwidthEvent, ...] = ()
     stalls: Tuple[StallEvent, ...] = ()
     crashes: Tuple[CrashEvent, ...] = ()
+    slowdowns: Tuple[SlowdownEvent, ...] = ()
+    jitters: Tuple[JitterEvent, ...] = ()
 
     def __post_init__(self) -> None:
         # validate the global probabilities through LinkFaultModel
@@ -117,4 +176,83 @@ class FaultPlan:
             or self.degradations
             or self.stalls
             or self.crashes
+            or self.slowdowns
+            or self.jitters
+        )
+
+    @property
+    def degrading(self) -> bool:
+        """True when the plan carries *performance* faults (events that
+        slow the machine down without breaking it)."""
+        return bool(self.degradations or self.slowdowns or self.jitters)
+
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable form; :meth:`from_dict` round-trips exactly."""
+        return {
+            "seed": self.seed,
+            "drop_prob": self.drop_prob,
+            "corrupt_prob": self.corrupt_prob,
+            "link_overrides": {
+                key: {"drop_prob": m.drop_prob, "corrupt_prob": m.corrupt_prob}
+                for key, m in self.link_overrides.items()
+            },
+            "degradations": [
+                {
+                    "link": ev.link,
+                    "start": ev.start,
+                    "duration": ev.duration,
+                    "factor": ev.factor,
+                    "extra_latency": ev.extra_latency,
+                }
+                for ev in self.degradations
+            ],
+            "stalls": [
+                {"node": ev.node, "start": ev.start, "duration": ev.duration}
+                for ev in self.stalls
+            ],
+            "crashes": [
+                {"node": ev.node, "start": ev.start} for ev in self.crashes
+            ],
+            "slowdowns": [
+                {
+                    "node": ev.node,
+                    "start": ev.start,
+                    "duration": ev.duration,
+                    "factor": ev.factor,
+                }
+                for ev in self.slowdowns
+            ],
+            "jitters": [
+                {
+                    "node": ev.node,
+                    "start": ev.start,
+                    "duration": ev.duration,
+                    "amp": ev.amp,
+                }
+                for ev in self.jitters
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "FaultPlan":
+        """Rebuild a plan serialized by :meth:`to_dict`."""
+        return cls(
+            seed=int(d.get("seed", 0)),
+            drop_prob=float(d.get("drop_prob", 0.0)),
+            corrupt_prob=float(d.get("corrupt_prob", 0.0)),
+            link_overrides={
+                key: LinkFaultModel(**m)
+                for key, m in (d.get("link_overrides") or {}).items()
+            },
+            degradations=tuple(
+                BandwidthEvent(**ev) for ev in d.get("degradations") or ()
+            ),
+            stalls=tuple(StallEvent(**ev) for ev in d.get("stalls") or ()),
+            crashes=tuple(CrashEvent(**ev) for ev in d.get("crashes") or ()),
+            slowdowns=tuple(
+                SlowdownEvent(**ev) for ev in d.get("slowdowns") or ()
+            ),
+            jitters=tuple(JitterEvent(**ev) for ev in d.get("jitters") or ()),
         )

@@ -108,10 +108,19 @@ class CoupledModel:
 
         ``faulted`` marks the window as contested (injected faults,
         recovery in progress): window-switching backends like the hybrid
-        tier answer it at DES fidelity.
+        tier answer it at DES fidelity.  Windows overlapping an attached
+        degradation schedule escalate the same way on their own — a
+        degraded machine is priced at packet fidelity without the caller
+        having to know the fault timetable.
         """
+        t0 = self.elapsed
+        width = max(t0 / self.windows_run, 1e-9) if self.windows_run else 1e-3
         for be in self.backends():
-            be.begin_window(self.windows_run, faulted=faulted)
+            schedule = getattr(be, "degradation", None)
+            degraded = (
+                schedule is not None and schedule.overlaps(t0, t0 + width)
+            )
+            be.begin_window(self.windows_run, faulted=faulted, degraded=degraded)
         n = self.params.coupling_interval
         self.atmosphere.run(n)
         self.ocean.run(n)

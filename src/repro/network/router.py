@@ -59,8 +59,11 @@ class Link:
     transmit time and may return :data:`FAULT_DROP` (the packet vanishes
     on the wire) or :data:`FAULT_CORRUPT` (a bit flip the next CRC stage
     will catch); ``rate_factor`` scales the effective bandwidth to model
-    transient link degradation, and :meth:`stall` blocks the transmitter
-    outright for a window of virtual time.
+    transient link degradation, ``latency_extra`` adds a fixed per-packet
+    forwarding delay (degraded-wire latency), ``delay_hook(pkt)`` returns
+    an additional per-packet delay in seconds (seeded NIC jitter), and
+    :meth:`stall` blocks the transmitter outright for a window of
+    virtual time.
     """
 
     def __init__(
@@ -79,6 +82,8 @@ class Link:
         self.stats = LinkStats()
         self.fault_hook: Optional[Callable[[Packet], Optional[str]]] = None
         self.rate_factor: float = 1.0
+        self.latency_extra: float = 0.0
+        self.delay_hook: Optional[Callable[[Packet], float]] = None
         self._stalled_until: float = 0.0
         self._queue = PriorityStore(engine, name=f"link:{name}")
         engine.process(self._transmitter(), name=f"link:{name}", daemon=True)
@@ -150,9 +155,17 @@ class Link:
                     cat="link", args=obs_trace.emit_arg_packet(pkt),
                 )
             # Cut-through: head reaches the far side after the stage
-            # latency while the tail is still serializing here.
-            self.engine.schedule(self.stage_latency, lambda p=pkt: self.sink(p))
-            yield self.engine.timeout(t_ser)
+            # latency while the tail is still serializing here.  Degraded
+            # wires add a fixed latency_extra; a flaky NIC adds a seeded
+            # per-packet delay via delay_hook.  Both delay the head AND
+            # hold the transmitter, so back-to-back packets can't overtake.
+            t_delay = self.latency_extra
+            if self.delay_hook is not None:
+                t_delay += max(self.delay_hook(pkt), 0.0)
+            self.engine.schedule(
+                self.stage_latency + t_delay, lambda p=pkt: self.sink(p)
+            )
+            yield self.engine.timeout(t_ser + t_delay)
 
 
 class ArcticRouter:

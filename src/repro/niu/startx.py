@@ -120,6 +120,10 @@ class StarTX:
         self.crc_status_errors = 0
         self.packets_sent = 0
         self.packets_received = 0
+        #: CPU slowdown multiplier (>= 1): every CPU-side charge (mmap
+        #: register traffic, descriptor staging) stretches by this factor.
+        #: Fault injection sets it during SlowdownEvent windows.
+        self.cpu_factor: float = 1.0
         #: Optional receive-path intercept (e.g. the reliable-delivery
         #: layer): called with each CRC-clean packet before normal
         #: dispatch; returning True consumes the packet.
@@ -219,7 +223,7 @@ class StarTX:
         payload_bytes = len(payload_words) * WORD_BYTES
         cost = PIO_COST_MODEL.accesses(payload_bytes) * self.pci.params.mmap_write_gap
         self.pci.total_mmap_writes += PIO_COST_MODEL.accesses(payload_bytes)
-        yield self.engine.timeout(cost)
+        yield self.engine.timeout(cost * self.cpu_factor)
         pkt = Packet(
             src=self.node_id,
             dst=dst,
@@ -243,17 +247,19 @@ class StarTX:
         pkt: Packet = yield self.pio_rx.get()
         cost = PIO_COST_MODEL.accesses(pkt.payload_bytes) * self.pci.params.mmap_read_latency
         self.pci.total_mmap_reads += PIO_COST_MODEL.accesses(pkt.payload_bytes)
-        yield self.engine.timeout(cost)
+        yield self.engine.timeout(cost * self.cpu_factor)
         return pkt
 
     def pio_try_recv(self):
         """Process: poll for a message; returns None after one status read."""
         ok, pkt = self.pio_rx.try_get()
         if not ok:
-            yield self.engine.timeout(self.pci.params.mmap_read_latency)
+            yield self.engine.timeout(
+                self.pci.params.mmap_read_latency * self.cpu_factor
+            )
             return None
         cost = PIO_COST_MODEL.accesses(pkt.payload_bytes) * self.pci.params.mmap_read_latency
-        yield self.engine.timeout(cost)
+        yield self.engine.timeout(cost * self.cpu_factor)
         return pkt
 
     # ------------------------------------------------------------------
@@ -293,9 +299,10 @@ class StarTX:
         yield sig.wait()
         # poll the ack status + stage the VI buffer descriptors + kick the
         # Tx DMA engine (2 writes) ----------------------------------------
-        yield self.engine.timeout(self.pci.params.mmap_read_latency)
-        yield self.engine.timeout(VI_SETUP_COST)
-        yield self.engine.timeout(2 * self.pci.params.mmap_write_gap)
+        yield self.engine.timeout(
+            (self.pci.params.mmap_read_latency + VI_SETUP_COST
+             + 2 * self.pci.params.mmap_write_gap) * self.cpu_factor
+        )
         # -- stream fragments at the effective DMA payload rate -----------
         offset = 0
         while offset < nbytes:
@@ -328,9 +335,10 @@ class StarTX:
         """
         pkt: Packet = yield self._vi_requests.get()
         cost = PIO_COST_MODEL.accesses(pkt.payload_bytes) * self.pci.params.mmap_read_latency
-        yield self.engine.timeout(cost)
+        yield self.engine.timeout(cost * self.cpu_factor)
         xid, nbytes = pkt.payload_words[0], pkt.payload_words[1]
-        yield self.engine.timeout(VI_SETUP_COST)  # post the receive buffer
+        # post the receive buffer
+        yield self.engine.timeout(VI_SETUP_COST * self.cpu_factor)
         self.vi_expect(xid, nbytes, src=pkt.src)
         yield from self.pio_send(pkt.src, [xid, 0], tag=TAG_VI_ACK, priority=Priority.HIGH)
         return self._vi_rx[xid]

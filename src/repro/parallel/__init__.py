@@ -26,7 +26,13 @@ from repro.parallel.globalsum import (
     butterfly_global_sum,
     butterfly_rounds,
 )
-from repro.parallel.runtime import LockstepRuntime, MachineModel, RankStats
+from repro.parallel.runtime import (
+    LockstepRuntime,
+    MachineModel,
+    RankStats,
+    StragglerConfig,
+    StragglerMitigator,
+)
 
 __all__ = [
     "Decomposition",
@@ -37,6 +43,8 @@ __all__ = [
     "butterfly_global_sum",
     "butterfly_rounds",
     "LockstepRuntime",
+    "StragglerConfig",
+    "StragglerMitigator",
     "MachineModel",
     "RankStats",
 ]

@@ -14,6 +14,15 @@ with one virtual clock each:
 ``cpus_per_node = 2`` models the production mix-mode: two ranks per SMP,
 exchanges relayed by the master at reduced slave bandwidth, global sums
 hierarchical over the SMP masters (Sections 4.1-4.2).
+
+Degraded-mode operation: :meth:`LockstepRuntime.set_degradation`
+attaches a :class:`~repro.faults.degrade.DegradationSchedule` so a slow
+node's ranks genuinely fall behind in virtual time (compute stretches by
+the node's CPU factor, communication by the shared wire penalty), and
+:class:`StragglerMitigator` shifts tiles off suspected stragglers at
+checkpoint boundaries via the :attr:`LockstepRuntime.rank_owner` map.
+Ownership and timing never touch field data, so mitigated runs stay
+bit-exact with unmitigated ones by construction.
 """
 
 from __future__ import annotations
@@ -83,11 +92,23 @@ class LockstepRuntime:
         record_timeline: bool = False,
         cost_model: Optional[CommCostModel] = None,
         tuner=None,
+        n_nodes: Optional[int] = None,
     ) -> None:
         if cpus_per_node < 1:
             raise ValueError("cpus_per_node must be >= 1")
         if decomp.n_ranks % cpus_per_node:
             raise ValueError("rank count must be a multiple of cpus_per_node")
+        if n_nodes is not None:
+            # over-decomposition: more tiles than CPUs per node, so a
+            # node time-slices its tiles and the straggler mitigator has
+            # real headroom (shedding a tile genuinely speeds the rest)
+            if n_nodes < 1 or decomp.n_ranks % n_nodes:
+                raise ValueError("n_nodes must divide the rank count")
+            if decomp.n_ranks // n_nodes < cpus_per_node:
+                raise ValueError(
+                    "over-decomposition needs at least cpus_per_node "
+                    "tiles per node"
+                )
         self.decomp = decomp
         if isinstance(backend, CommCostModel):
             # positional caller from the pre-backend signature
@@ -106,11 +127,22 @@ class LockstepRuntime:
         self.cpus_per_node = cpus_per_node
         self.machine = machine or MachineModel()
         self.n_ranks = decomp.n_ranks
-        self.n_nodes = self.n_ranks // cpus_per_node
+        self.n_nodes = n_nodes or self.n_ranks // cpus_per_node
         self.mixmode = cpus_per_node > 1
         self.clocks = np.zeros(self.n_ranks)
         self.stats = [RankStats() for _ in range(self.n_ranks)]
         self._summer = GlobalSummer(self.n_ranks, cpus_per_node)
+        tiles_per_node = self.n_ranks // self.n_nodes
+        #: Tile placement: ``rank_owner[r]`` is the node whose CPUs run
+        #: rank ``r``'s tile.  Defaults to the static block layout; the
+        #: straggler mitigator remaps it at checkpoint boundaries.
+        #: Placement only affects *timing* — never field data.
+        self.rank_owner = np.arange(self.n_ranks) // tiles_per_node
+        self._owned = np.full(self.n_nodes, tiles_per_node, dtype=int)
+        self._overdecomposed = tiles_per_node > cpus_per_node
+        self._remapped = False
+        #: Attached degradation schedule (``None`` = healthy machine).
+        self.degradation = None
         #: Optional event log: (kind, t_start, t_end) of each charged
         #: phase on the critical-path clock; enable with
         #: ``record_timeline=True`` for post-mortem schedule analysis.
@@ -141,6 +173,56 @@ class LockstepRuntime:
         self.metrics = recorder or MetricsRecorder()
         return self.metrics
 
+    # -- degraded-mode operation -----------------------------------------
+
+    def set_degradation(self, schedule) -> None:
+        """Attach a :class:`~repro.faults.degrade.DegradationSchedule`.
+
+        Compute charges stretch by the owning node's CPU factor and the
+        backend composes the shared wire penalty into every quote.  Pass
+        ``None`` to return to healthy-machine pricing.
+        """
+        self.degradation = schedule
+        self.backend.set_degradation(schedule)
+
+    def move_tile(self, rank: int, node: int) -> None:
+        """Reassign rank ``rank``'s tile to ``node`` (timing only).
+
+        A node running more tiles than CPUs time-slices them: each of
+        its tiles computes at ``owned / cpus_per_node`` of full speed.
+        """
+        if not (0 <= node < self.n_nodes):
+            raise ValueError(f"node {node} out of range 0..{self.n_nodes - 1}")
+        old = int(self.rank_owner[rank])
+        if old == node:
+            return
+        self._owned[old] -= 1
+        self._owned[node] += 1
+        self.rank_owner[rank] = node
+        self._remapped = True
+
+    def tiles_owned(self, node: int) -> int:
+        """How many tiles ``node`` currently runs."""
+        return int(self._owned[node])
+
+    def _compute_factors(self) -> Optional[np.ndarray]:
+        """Per-rank compute stretch (``None`` on the healthy fast path)."""
+        if (
+            self.degradation is None
+            and not self._remapped
+            and not self._overdecomposed
+        ):
+            return None
+        factors = np.ones(self.n_ranks)
+        over = np.maximum(self._owned / self.cpus_per_node, 1.0)
+        for r in range(self.n_ranks):
+            node = int(self.rank_owner[r])
+            f = over[node]
+            if self.degradation is not None:
+                f *= self.degradation.cpu_factor(node, float(self.clocks[r]))
+            factors[r] = f
+        return factors
+
     def _log(self, kind: str, t_start: float) -> None:
         t_end = self.elapsed
         if self.record_timeline:
@@ -160,6 +242,9 @@ class LockstepRuntime:
         flops = np.broadcast_to(np.asarray(flops_per_rank, dtype=float), (self.n_ranks,))
         t_start = self.elapsed
         dt = flops / rate
+        factors = self._compute_factors()
+        if factors is not None:
+            dt = dt * factors
         self.clocks += dt
         for r, st in enumerate(self.stats):
             st.compute_time += dt[r]
@@ -196,9 +281,15 @@ class LockstepRuntime:
             exchange_halos(self.decomp, f, width)
             for r in range(self.n_ranks):
                 edges = self.decomp.edge_bytes(nz=nz, width=width, itemsize=itemsize, rank=r)
-                costs[r] += self.backend.exchange_time(
-                    edges, mixmode=self.mixmode, n_ranks=self.n_ranks
-                )
+                if self.degradation is not None:
+                    costs[r] += self.backend.exchange_time(
+                        edges, mixmode=self.mixmode, n_ranks=self.n_ranks,
+                        node=int(self.rank_owner[r]), now=float(self.clocks[r]),
+                    )
+                else:
+                    costs[r] += self.backend.exchange_time(
+                        edges, mixmode=self.mixmode, n_ranks=self.n_ranks
+                    )
                 self.stats[r].bytes_exchanged += sum(edges)
                 total_bytes += sum(edges)
 
@@ -232,7 +323,12 @@ class LockstepRuntime:
     def global_sum(self, values: Sequence[float]) -> float:
         """All-reduce one scalar per rank; synchronizes every clock."""
         result = self._summer(values)
-        t_g = self.backend.gsum_time(self.n_nodes, 8, smp=self.mixmode)
+        if self.degradation is not None:
+            t_g = self.backend.gsum_time(
+                self.n_nodes, 8, smp=self.mixmode, now=self.elapsed
+            )
+        else:
+            t_g = self.backend.gsum_time(self.n_nodes, 8, smp=self.mixmode)
         before = self.clocks.copy()
         now = float(before.max())
         self.clocks[:] = now + t_g
@@ -250,7 +346,10 @@ class LockstepRuntime:
 
     def barrier(self) -> None:
         """Synchronize clocks (costed like a dataless global sum)."""
-        t_b = self.backend.barrier_time(self.n_nodes)
+        if self.degradation is not None:
+            t_b = self.backend.barrier_time(self.n_nodes, now=self.elapsed)
+        else:
+            t_b = self.backend.barrier_time(self.n_nodes)
         t_start = self.elapsed
         self.clocks[:] = float(self.clocks.max()) + t_b
         if self.metrics is not None:
@@ -333,3 +432,160 @@ class LockstepRuntime:
                 sum(s.bytes_exchanged for s in self.stats)
             ),
         }
+
+
+# ---------------------------------------------------------------------------
+# Straggler mitigation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class StragglerConfig:
+    """Tuning for :class:`StragglerMitigator`.
+
+    ``suspect_factor`` plays the role of the membership layer's phi
+    threshold, but over *progress* rather than heartbeats: a node whose
+    smoothed per-stage virtual time runs this many times the cluster
+    median is suspected of straggling.  It must clear the mix-mode
+    oversubscription ratio (a healthy node absorbing one extra tile runs
+    at 1.5x with ``cpus_per_node=2``), so defaults stay conservative:
+    no false positives on a merely-busy node.
+    """
+
+    suspect_factor: float = 1.8
+    ewma_alpha: float = 0.4
+    min_observations: int = 2
+    #: Never move a node's last tile: a straggler still owns its share
+    #: of the fabric and must keep heartbeating through real work.
+    min_tiles: int = 1
+
+    def __post_init__(self) -> None:
+        if self.suspect_factor <= 1.0:
+            raise ValueError("suspect_factor must exceed 1")
+        if not (0.0 < self.ewma_alpha <= 1.0):
+            raise ValueError("ewma_alpha must be in (0, 1]")
+        if self.min_observations < 1:
+            raise ValueError("min_observations must be >= 1")
+        if self.min_tiles < 0:
+            raise ValueError("min_tiles must be >= 0")
+
+
+class StragglerMitigator:
+    """Progress-based straggler suspicion and tile rebalancing.
+
+    The detector side mirrors the phi-accrual membership detector's
+    philosophy — learn what "normal" looks like, suspect deviations,
+    never equate *slow* with *dead* — but observes BSP progress instead
+    of heartbeats.  Progress is each rank's *charged work* (compute +
+    communication cost, excluding sync waits): raw clocks equalize at
+    every collective, which would hide the straggler, while a slow
+    node's charged work genuinely stretches.  Call :meth:`observe`
+    after each stage (or coupling window), then :meth:`rebalance` at
+    checkpoint boundaries, where ownership may legally change because
+    every rank's state is durable and aligned.
+
+    Rebalancing greedily moves tiles from the most overloaded suspected
+    node to the least loaded node while doing so shrinks the projected
+    critical path (load = tiles x slowdown / CPUs).  All decisions are
+    deterministic functions of observed virtual time; tile *data* never
+    moves, so mitigated runs stay bit-exact.
+    """
+
+    def __init__(
+        self,
+        runtime: LockstepRuntime,
+        config: Optional[StragglerConfig] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.config = config or StragglerConfig()
+        self._last = self._work()
+        self._estimate = np.ones(runtime.n_nodes)
+        self._observations = 0
+        self.moves: list[tuple[int, int, int]] = []
+
+    def _work(self) -> np.ndarray:
+        """Per-rank charged work: everything but sync waits."""
+        return np.array(
+            [
+                st.compute_time + st.exchange_time + st.gsum_time
+                for st in self.runtime.stats
+            ]
+        )
+
+    def _node_progress(self, delta: np.ndarray) -> np.ndarray:
+        """Per-node stage time: the slowest of the node's tiles."""
+        prog = np.zeros(self.runtime.n_nodes)
+        for r in range(self.runtime.n_ranks):
+            node = int(self.runtime.rank_owner[r])
+            prog[node] = max(prog[node], delta[r])
+        return prog
+
+    def observe(self) -> None:
+        """Fold one stage's per-node progress into the EWMA estimates."""
+        work = self._work()
+        delta = work - self._last
+        self._last = work
+        prog = self._node_progress(delta)
+        # normalize against the healthy majority; guard the all-idle stage
+        med = float(np.median(prog[prog > 0])) if (prog > 0).any() else 0.0
+        if med <= 0.0:
+            return
+        # a node with *more tiles than its peers* is legitimately slower:
+        # discount oversubscription relative to the cluster median, so a
+        # uniformly over-decomposed layout carries no discount (the
+        # median already reflects it) while the imbalance the mitigator
+        # itself created never reads as straggling
+        over = np.maximum(
+            self.runtime._owned / self.runtime.cpus_per_node, 1.0
+        )
+        rel = np.maximum(over / max(float(np.median(over)), 1.0), 1.0)
+        ratio = np.maximum(prog / med, 0.0) / rel
+        a = self.config.ewma_alpha
+        self._estimate = (1 - a) * self._estimate + a * ratio
+        self._observations += 1
+
+    def slowdown(self, node: int) -> float:
+        """Smoothed slowdown estimate for ``node`` (1 = healthy)."""
+        return float(self._estimate[node])
+
+    def suspected(self, node: int) -> bool:
+        """Is ``node`` currently suspected of straggling?"""
+        return (
+            self._observations >= self.config.min_observations
+            and self._estimate[node] >= self.config.suspect_factor
+        )
+
+    def suspects(self) -> list[int]:
+        """All currently suspected nodes."""
+        return [n for n in range(self.runtime.n_nodes) if self.suspected(n)]
+
+    def rebalance(self) -> list[tuple[int, int, int]]:
+        """Shift tiles off suspected stragglers (checkpoint boundary).
+
+        Returns the ``(rank, from_node, to_node)`` moves made this call.
+        """
+        rt = self.runtime
+        suspects = set(self.suspects())
+        if not suspects:
+            return []
+        est = np.maximum(self._estimate, 1.0)
+        moves: list[tuple[int, int, int]] = []
+        while True:
+            load = rt._owned * est / rt.cpus_per_node
+            src = int(np.argmax(load))
+            if src not in suspects or rt.tiles_owned(src) <= self.config.min_tiles:
+                break
+            dst = int(np.argmin(load))
+            new_src = (rt.tiles_owned(src) - 1) * est[src] / rt.cpus_per_node
+            new_dst = (rt.tiles_owned(dst) + 1) * est[dst] / rt.cpus_per_node
+            if max(new_src, new_dst) >= load[src]:
+                break  # the move no longer shrinks the critical path
+            # deterministic choice: the highest-numbered tile on src
+            ranks = [
+                r for r in range(rt.n_ranks) if int(rt.rank_owner[r]) == src
+            ]
+            rank = ranks[-1]
+            rt.move_tile(rank, dst)
+            moves.append((rank, src, dst))
+        self.moves.extend(moves)
+        return moves

@@ -35,6 +35,8 @@ from repro.recover.membership import (
     HeartbeatService,
     Membership,
     NodeFailure,
+    PhiAccrualDetector,
+    SuspicionConfig,
     UnrecoverableError,
 )
 from repro.recover.checkpoint import (
@@ -49,6 +51,8 @@ __all__ = [
     "HeartbeatService",
     "Membership",
     "NodeFailure",
+    "PhiAccrualDetector",
+    "SuspicionConfig",
     "UnrecoverableError",
     "CheckpointLockTimeout",
     "CoordinatedCheckpointStore",

@@ -23,12 +23,31 @@ detector scan after ``t + timeout`` declares it.  Declarations are
 funnelled through :class:`Membership`, which keeps the authoritative
 alive-set and notifies listeners (the :class:`~repro.recover.manager.
 RecoveryManager`) exactly once per death.
+
+Two detector modes are available (``HeartbeatConfig.detector``):
+
+* ``"fixed"`` — the classic fail-stop detector above: silence longer
+  than a wall-clock ``timeout`` means dead.  Simple, but on a degraded
+  machine it conflates *slow* with *dead*.
+* ``"phi"`` (default) — an adaptive phi-accrual-style detector
+  (Hayashibara et al. 2004): each observer learns the distribution of
+  its peers' beacon inter-arrival times and turns current silence into
+  a suspicion level ``phi = -log10 P(silence this long | peer alive)``.
+  Crossing ``phi_suspect`` marks the peer *suspected* (fed to straggler
+  mitigation, never to recovery); a declaration additionally requires
+  ``phi >= phi_dead`` **and** silence beyond ``k_dead`` learned mean
+  intervals — so a merely-degraded peer whose beacons stretched 4x is
+  suspected but not evicted, while a truly dead one is still declared
+  within the fixed detector's latency bound.  Until ``min_samples``
+  intervals are learned the fixed ``timeout`` applies (warmup).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
 from repro.network.packet import Priority
 
@@ -161,6 +180,133 @@ class Membership:
         return record
 
 
+#: Peer states reported by :meth:`PhiAccrualDetector.state`.
+PEER_ALIVE = "alive"
+PEER_SUSPECT = "suspect"
+PEER_DEAD = "dead"
+
+
+@dataclass(frozen=True)
+class SuspicionConfig:
+    """Tuning of the adaptive phi-accrual detector.
+
+    ``phi = p`` means "the chance a live peer stays silent this long is
+    10^-p".  ``phi_suspect`` trips early (fed to straggler mitigation);
+    a *declaration* requires both ``phi_dead`` and silence beyond
+    ``k_dead`` learned mean intervals — the belt-and-braces pair that
+    keeps a 4x-degraded peer (phi rises fast once the learned std is
+    small) from being evicted while it is demonstrably still beaconing.
+    Defaults keep declaration latency at ~``k_dead * period`` on a
+    healthy history, inside the fixed detector's documented bound.
+    """
+
+    window: int = 32
+    min_samples: int = 4
+    phi_suspect: float = 2.0
+    phi_dead: float = 9.0
+    k_dead: float = 5.0
+    #: Std-deviation floor as a fraction of the learned mean: beacons on
+    #: a quiet simulated fabric arrive nearly metronomically, and a
+    #: zero std would make phi explode on the first microsecond of skew.
+    min_std_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.window < 2:
+            raise ValueError("window must hold at least 2 samples")
+        if self.min_samples < 2:
+            raise ValueError("min_samples must be >= 2")
+        if not (0.0 < self.phi_suspect < self.phi_dead):
+            raise ValueError("need 0 < phi_suspect < phi_dead")
+        if self.k_dead < 1.0:
+            raise ValueError("k_dead must be >= 1")
+        if self.min_std_fraction <= 0.0:
+            raise ValueError("min_std_fraction must be positive")
+
+
+class PhiAccrualDetector:
+    """Per-observer adaptive suspicion over beacon inter-arrival times.
+
+    One instance per observing node.  :meth:`heard` feeds it each
+    inbound beacon; :meth:`state` classifies a peer as alive, suspected
+    (slow) or dead given the current silence.  Pure bookkeeping — no
+    engine, no I/O — so the campaign can also drive it with synthetic
+    beacon streams to audit false-positive behaviour deterministically.
+    """
+
+    def __init__(self, config: Optional[SuspicionConfig] = None) -> None:
+        self.config = config or SuspicionConfig()
+        self._intervals: Dict[int, Deque[float]] = {}
+        self._last: Dict[int, float] = {}
+
+    def heard(self, peer: int, now: float) -> None:
+        """Record a beacon from ``peer`` at virtual time ``now``."""
+        last = self._last.get(peer)
+        if last is not None and now > last:
+            self._intervals.setdefault(
+                peer, deque(maxlen=self.config.window)
+            ).append(now - last)
+        self._last[peer] = now
+
+    def samples(self, peer: int) -> int:
+        """Learned inter-arrival samples for ``peer``."""
+        return len(self._intervals.get(peer, ()))
+
+    def mean_interval(self, peer: int) -> Optional[float]:
+        """Learned mean beacon interval (None before any sample)."""
+        window = self._intervals.get(peer)
+        if not window:
+            return None
+        return sum(window) / len(window)
+
+    def phi(self, peer: int, now: float) -> float:
+        """Suspicion level for ``peer``: ``-log10 P(silence | alive)``.
+
+        Gaussian tail over the learned inter-arrival distribution, std
+        floored at ``min_std_fraction`` of the mean.  Returns 0 while
+        there is no history (warmup uses the fixed timeout instead).
+        """
+        window = self._intervals.get(peer)
+        last = self._last.get(peer)
+        if not window or last is None:
+            return 0.0
+        silence = now - last
+        if silence <= 0:
+            return 0.0
+        mean = sum(window) / len(window)
+        var = sum((x - mean) ** 2 for x in window) / len(window)
+        std = max(math.sqrt(var), self.config.min_std_fraction * mean)
+        z = (silence - mean) / std
+        if z <= 0:
+            return 0.0
+        # P(X > silence) for a Gaussian; erfc keeps precision far into
+        # the tail, then clamp where even erfc underflows.
+        p = 0.5 * math.erfc(z / math.sqrt(2.0))
+        if p <= 0.0:
+            return float("inf")
+        return -math.log10(p)
+
+    def state(self, peer: int, now: float, fixed_timeout: float) -> str:
+        """Classify ``peer``: PEER_ALIVE / PEER_SUSPECT / PEER_DEAD.
+
+        ``fixed_timeout`` is the warmup fallback: before ``min_samples``
+        intervals are learned the classic silence test applies.
+        """
+        cfg = self.config
+        last = self._last.get(peer)
+        silence = None if last is None else now - last
+        if self.samples(peer) < cfg.min_samples:
+            if silence is not None and silence > fixed_timeout:
+                return PEER_DEAD
+            return PEER_ALIVE
+        p = self.phi(peer, now)
+        mean = self.mean_interval(peer) or fixed_timeout
+        if p >= cfg.phi_dead and silence is not None and silence > cfg.k_dead * mean:
+            return PEER_DEAD
+        if p >= cfg.phi_suspect:
+            return PEER_SUSPECT
+        return PEER_ALIVE
+
+
 @dataclass(frozen=True)
 class HeartbeatConfig:
     """Timing of the liveness protocol.
@@ -170,10 +316,19 @@ class HeartbeatConfig:
     period keeps the steady-state tax well under 1 % of each CPU while
     bounding detection latency at ``timeout + period`` = 300 us — small
     next to the multi-millisecond coupling windows it protects.
+
+    ``detector`` picks the classification rule: adaptive ``"phi"``
+    (default; see :class:`PhiAccrualDetector`) or the classic
+    ``"fixed"`` silence timeout.  Either way ``timeout`` stays load-
+    bearing as the phi detector's warmup fallback — and on a healthy
+    beacon history ``k_dead * period`` keeps phi declarations inside
+    the fixed detector's documented latency bound.
     """
 
     period: float = 50e-6
     timeout: float = 250e-6
+    detector: str = "phi"
+    suspicion: SuspicionConfig = field(default_factory=SuspicionConfig)
 
     def __post_init__(self) -> None:
         if self.period <= 0:
@@ -182,6 +337,10 @@ class HeartbeatConfig:
             raise ValueError(
                 f"timeout {self.timeout} must be at least twice the period "
                 f"{self.period} or every beacon jitter declares a death"
+            )
+        if self.detector not in ("phi", "fixed"):
+            raise ValueError(
+                f"detector must be 'phi' or 'fixed', got {self.detector!r}"
             )
 
 
@@ -211,6 +370,16 @@ class HeartbeatService:
         self.last_seen: dict[int, dict[int, float]] = {}
         self.beacons_sent = 0
         self.beacons_heard = 0
+        #: Per-observer adaptive detectors (phi mode only).
+        self.detectors: dict[int, PhiAccrualDetector] = {}
+        #: suspects[observer] -> peers the observer currently suspects
+        #: of being slow (phi crossed phi_suspect but the peer is not
+        #: declarable).  Feeds straggler mitigation, never recovery.
+        self.suspects: dict[int, set[int]] = {}
+        #: Total suspect transitions (a peer entering some observer's
+        #: suspect set) — the campaign audits this stays decoupled from
+        #: declarations.
+        self.suspect_events = 0
 
     def arm(self) -> None:
         """Install hooks and start the daemons (idempotent)."""
@@ -220,6 +389,9 @@ class HeartbeatService:
         self.armed_at = self.engine.now
         for node in self.membership.participants:
             self.last_seen[node] = {}
+            self.suspects[node] = set()
+            if self.config.detector == "phi":
+                self.detectors[node] = PhiAccrualDetector(self.config.suspicion)
             self._wrap_hook(node)
         for node in self.membership.participants:
             self.engine.process(
@@ -239,6 +411,9 @@ class HeartbeatService:
             if pkt.tag == TAG_HEARTBEAT:
                 self.beacons_heard += 1
                 self.last_seen[node][pkt.src] = self.engine.now
+                det = self.detectors.get(node)
+                if det is not None:
+                    det.heard(pkt.src, self.engine.now)
                 return True
             return prev(pkt) if prev is not None else False
 
@@ -284,16 +459,52 @@ class HeartbeatService:
                 # gone, so ground-truth ``crashed`` must not be consulted.
                 if peer == node or peer in self.membership.dead:
                     continue
-                last = self.last_seen[node].get(peer, self.armed_at)
-                silent = now - last
-                if silent > self.config.timeout:
-                    self.membership.declare_dead(
-                        peer,
-                        by=node,
-                        when=now,
-                        reason=(
-                            f"no heartbeat for {silent:.3e} s "
-                            f"(timeout {self.config.timeout:.3e} s)"
-                        ),
-                    )
+                self._classify(node, peer, now)
             yield self.engine.timeout(self.config.period)
+
+    def _classify(self, node: int, peer: int, now: float) -> None:
+        """One observer's verdict on one peer at one scan."""
+        last = self.last_seen[node].get(peer, self.armed_at)
+        silent = now - last
+        det = self.detectors.get(node)
+        if det is None:
+            # fixed-timeout mode: silence alone decides
+            if silent > self.config.timeout:
+                self.membership.declare_dead(
+                    peer,
+                    by=node,
+                    when=now,
+                    reason=(
+                        f"no heartbeat for {silent:.3e} s "
+                        f"(timeout {self.config.timeout:.3e} s)"
+                    ),
+                )
+            return
+        state = det.state(peer, now, self.config.timeout)
+        if state == PEER_DEAD:
+            self.suspects[node].discard(peer)
+            phi = det.phi(peer, now)
+            self.membership.declare_dead(
+                peer,
+                by=node,
+                when=now,
+                reason=(
+                    f"no heartbeat for {silent:.3e} s "
+                    f"(phi={phi:.1f}, learned mean interval "
+                    f"{det.mean_interval(peer) or self.config.timeout:.3e} s)"
+                ),
+            )
+        elif state == PEER_SUSPECT:
+            if peer not in self.suspects[node]:
+                self.suspects[node].add(peer)
+                self.suspect_events += 1
+        else:
+            self.suspects[node].discard(peer)
+
+    def currently_suspected(self) -> set[int]:
+        """Peers suspected (slow, not declarable) by any live observer."""
+        out: set[int] = set()
+        for node, peers in self.suspects.items():
+            if self.membership.is_live(node):
+                out |= peers
+        return out

@@ -11,7 +11,16 @@ supervisor journals the ``start``, then watches three failure channels:
 * **wedge** — the process is alive but its heartbeat file has gone
   stale past ``heartbeat_timeout_s``.  The supervisor SIGKILLs it —
   a wedged worker must never wedge the pool.
-* **deadline** — wall-clock overrun past ``deadline_s``, beats or not.
+* **deadline** — wall-clock overrun past the *effective* deadline,
+  beats or not.  With ``adaptive_deadline`` (default) the supervisor
+  learns each job kind's completed-attempt runtimes and tightens the
+  fixed ``deadline_s`` ceiling to a quantile-times-margin of what this
+  kind actually takes — and an overrun against the *learned* deadline
+  on a worker that is still heartbeating is treated as *slow, not
+  dead*: the attempt is killed but the job is **requeued** without
+  burning an attempt (``max_slow_requeues`` bounds the loop), so a
+  degraded host delays a job instead of quarantining it.  Overruns of
+  the fixed ceiling keep the classic retry/quarantine path.
 
 Failed attempts reschedule with capped exponential backoff plus
 deterministic jitter (seeded from job id and attempt, so a replayed
@@ -57,6 +66,24 @@ class SupervisorConfig:
     backoff_cap_s: float = 2.0
     #: jitter fraction on top of the exponential delay (0.25 = up to +25%).
     backoff_jitter: float = 0.25
+    #: learn per-kind deadlines from completed-attempt runtimes.
+    adaptive_deadline: bool = True
+    #: quantile of observed runtimes the learned deadline anchors on.
+    deadline_quantile: float = 0.95
+    #: learned deadline = margin * quantile (then clamped to the floor
+    #: and the fixed ``deadline_s`` ceiling).
+    deadline_margin: float = 3.0
+    #: completed attempts of a kind before its learned deadline applies.
+    deadline_min_samples: int = 3
+    #: never learn a deadline below this — keeps adaptation inert for
+    #: sub-second test/chaos workloads.
+    adaptive_deadline_floor_s: float = 1.0
+    #: slow-but-alive requeues per job before overruns fall back to the
+    #: retry/quarantine path (bounds the requeue loop on a job that is
+    #: genuinely mis-sized rather than merely on a degraded host).
+    max_slow_requeues: int = 2
+    #: per-kind runtime samples retained (FIFO).
+    runtime_history_cap: int = 64
 
 
 def backoff_delay(job_id: str, attempt: int, cfg: SupervisorConfig) -> float:
@@ -76,6 +103,7 @@ class WorkerHandle:
     process: multiprocessing.process.BaseProcess
     job_dir: pathlib.Path
     started_mono: float
+    kind: str = ""
     last_beat_mono: float = field(init=False)
 
     def __post_init__(self) -> None:
@@ -115,6 +143,10 @@ class Supervisor:
         self.config = config or SupervisorConfig()
         self.metrics = metrics
         self.running: Dict[str, WorkerHandle] = {}
+        #: Completed-attempt runtimes per job kind (adaptive deadlines).
+        self.runtimes: Dict[str, List[float]] = {}
+        #: Slow-but-alive requeues already granted per job id.
+        self.slow_requeues: Dict[str, int] = {}
         # fork keeps worker startup at milliseconds (the service already
         # has numpy and the model code paged in); fall back where the
         # platform has no fork.
@@ -153,11 +185,44 @@ class Supervisor:
             process=process,
             job_dir=job_dir,
             started_mono=time.monotonic(),
+            kind=state.spec.kind,
         )
         self.running[job_id] = handle
         if self.metrics is not None:
             self.metrics.count("workers_spawned")
         return handle
+
+    # -- adaptive deadlines ----------------------------------------------
+
+    def record_runtime(self, kind: str, seconds: float) -> None:
+        """Fold one completed attempt's runtime into the kind's history."""
+        history = self.runtimes.setdefault(kind, [])
+        history.append(seconds)
+        if len(history) > self.config.runtime_history_cap:
+            del history[: len(history) - self.config.runtime_history_cap]
+
+    def learned_deadline(self, kind: str) -> Optional[float]:
+        """The quantile-of-observed-runtimes deadline for ``kind``
+        (None while disabled or under-sampled)."""
+        cfg = self.config
+        if not cfg.adaptive_deadline:
+            return None
+        history = self.runtimes.get(kind)
+        if history is None or len(history) < cfg.deadline_min_samples:
+            return None
+        ordered = sorted(history)
+        idx = min(
+            int(cfg.deadline_quantile * len(ordered)), len(ordered) - 1
+        )
+        learned = cfg.deadline_margin * ordered[idx]
+        return max(learned, cfg.adaptive_deadline_floor_s)
+
+    def effective_deadline(self, kind: str) -> float:
+        """The deadline actually enforced for ``kind`` right now."""
+        learned = self.learned_deadline(kind)
+        if learned is None:
+            return self.config.deadline_s
+        return min(learned, self.config.deadline_s)
 
     # -- polling ---------------------------------------------------------
 
@@ -171,9 +236,56 @@ class Supervisor:
                 continue
             if handle.heartbeat_age(now) > self.config.heartbeat_timeout_s:
                 events.append(self._kill(handle, "wedged (heartbeat stale)"))
-            elif handle.runtime(now) > self.config.deadline_s:
+                continue
+            deadline = self.effective_deadline(handle.kind)
+            if handle.runtime(now) <= deadline:
+                continue
+            # Overrun.  Against the *learned* deadline, a beating worker
+            # is slow-not-dead: requeue without burning an attempt (the
+            # wedge branch above already proved the heartbeat is fresh).
+            slow = (
+                deadline < self.config.deadline_s
+                and self.slow_requeues.get(handle.job_id, 0)
+                < self.config.max_slow_requeues
+            )
+            if slow:
+                events.append(self._requeue_slow(handle, deadline))
+            else:
                 events.append(self._kill(handle, "deadline exceeded"))
         return events
+
+    def _requeue_slow(self, handle: WorkerHandle, deadline: float) -> dict:
+        """Kill a slow-but-alive attempt and re-pend the job."""
+        try:
+            os.kill(handle.process.pid, signal.SIGKILL)
+        except (OSError, TypeError):
+            pass
+        handle.process.join(timeout=5.0)
+        self.running.pop(handle.job_id, None)
+        pid_file = handle.job_dir / PID_NAME
+        if pid_file.exists():
+            pid_file.unlink()
+        # The worker may have crossed the line while we aimed: a valid
+        # result wins over the requeue.
+        result = read_result(handle.job_dir, handle.job_id)
+        if result is not None:
+            return self._complete(handle, result)
+        self.slow_requeues[handle.job_id] = (
+            self.slow_requeues.get(handle.job_id, 0) + 1
+        )
+        reason = (
+            f"slow, not dead: beating worker overran the learned "
+            f"{deadline:.3g}s deadline for kind {handle.kind!r}"
+        )
+        self.queue.mark_requeued(handle.job_id, reason)
+        if self.metrics is not None:
+            self.metrics.count("slow_requeues")
+        return {
+            "event": "slow_requeue",
+            "job_id": handle.job_id,
+            "deadline_s": deadline,
+            "reason": reason,
+        }
 
     def _kill(self, handle: WorkerHandle, why: str) -> dict:
         try:
@@ -195,16 +307,7 @@ class Supervisor:
 
         result = read_result(handle.job_dir, handle.job_id)
         if result is not None:
-            self.queue.mark_completed(
-                handle.job_id,
-                result.get("digest"),
-                attempt=handle.attempt,
-                steps=result.get("steps"),
-                resumed_from_step=result.get("resumed_from_step", 0),
-            )
-            if self.metrics is not None:
-                self.metrics.count("completed")
-            return {"event": "completed", "job_id": handle.job_id}
+            return self._complete(handle, result)
 
         error = read_error(handle.job_dir)
         if killed_because is not None:
@@ -215,6 +318,23 @@ class Supervisor:
             code = handle.process.exitcode
             reason = f"worker died without a result (exit code {code})"
         return self._retry_or_quarantine(handle, reason, error)
+
+    def _complete(self, handle: WorkerHandle, result: dict) -> dict:
+        """Journal terminal success and learn the attempt's runtime."""
+        self.queue.mark_completed(
+            handle.job_id,
+            result.get("digest"),
+            attempt=handle.attempt,
+            steps=result.get("steps"),
+            resumed_from_step=result.get("resumed_from_step", 0),
+        )
+        self.record_runtime(
+            handle.kind, time.monotonic() - handle.started_mono
+        )
+        self.slow_requeues.pop(handle.job_id, None)
+        if self.metrics is not None:
+            self.metrics.count("completed")
+        return {"event": "completed", "job_id": handle.job_id}
 
     def _retry_or_quarantine(
         self, handle: WorkerHandle, reason: str, error: Optional[dict]

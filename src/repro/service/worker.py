@@ -205,6 +205,21 @@ def _run_wedge(spec: JobSpec) -> dict:
     return {"digest": "wedge:" + _spec_digest(spec), "steps": 0}
 
 
+def _run_campaign(
+    spec: JobSpec, job_dir: Optional[pathlib.Path], beat: Callable[[], None]
+) -> dict:
+    """One fault-campaign scenario (see :mod:`repro.faults.campaign`).
+
+    The scenario result is deterministic in ``spec.params``, and its
+    ``digest`` is the degraded run's field digest — so the service's
+    retry/chaos machinery guards campaign bit-exactness for free.
+    """
+    from repro.faults.campaign import run_scenario
+
+    beat()
+    return run_scenario(dict(spec.params), beat=beat)
+
+
 def execute_job(
     spec: JobSpec,
     job_dir: Optional[pathlib.Path] = None,
@@ -232,6 +247,8 @@ def execute_job(
         result = _run_fail(spec)
     elif spec.kind == "wedge":
         result = _run_wedge(spec)
+    elif spec.kind == "campaign":
+        result = _run_campaign(spec, job_dir, beat)
     else:  # unreachable: JobSpec validates its kind
         raise ValueError(f"unknown job kind {spec.kind!r}")
     result.update({"job_id": spec.job_id, "kind": spec.kind, "attempt": attempt})

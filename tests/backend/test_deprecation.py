@@ -84,6 +84,47 @@ class TestAutotuner:
         assert tuner.model is be.model
 
 
+class TestWarningAttribution:
+    """Every legacy spelling must blame the *caller's* line — this
+    file — not a frame inside repro's shims (the point of a
+    deprecation warning is telling the user which of *their* lines to
+    change)."""
+
+    @staticmethod
+    def _only_deprecation(records):
+        dep = [w for w in records if issubclass(w.category, DeprecationWarning)]
+        assert dep, "expected a DeprecationWarning"
+        return dep[-1]
+
+    def test_runtime_cost_model_kwarg_blames_caller(self):
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            LockstepRuntime(_decomp(), cost_model=arctic_cost_model())
+        assert self._only_deprecation(w).filename == __file__
+
+    def test_runtime_positional_model_blames_caller(self):
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            LockstepRuntime(_decomp(), arctic_cost_model())
+        assert self._only_deprecation(w).filename == __file__
+
+    def test_summer_tuner_kwarg_blames_caller(self):
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            GlobalSummer(
+                4, algorithm="auto", tuner=Autotuner(arctic_cost_model())
+            )
+        assert self._only_deprecation(w).filename == __file__
+
+    def test_cli_engine_flag_blames_mains_caller(self):
+        from repro.cli import main
+
+        with warnings.catch_warnings(record=True) as w:
+            warnings.simplefilter("always")
+            main(["backend", "--sweep", "--nodes", "16", "--engine", "analytic"])
+        assert self._only_deprecation(w).filename == __file__
+
+
 class TestCLI:
     def test_engine_flag_warns_and_maps_to_backend(self, capsys):
         from repro.cli import main

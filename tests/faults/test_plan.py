@@ -1,0 +1,150 @@
+"""FaultPlan as pure data: validation, determinism, exact round-trips."""
+
+import json
+import random
+
+import pytest
+
+from repro.faults import (
+    BandwidthEvent,
+    CrashEvent,
+    FaultPlan,
+    JitterEvent,
+    LinkFaultModel,
+    SlowdownEvent,
+    StallEvent,
+)
+
+
+def random_plan(rng):
+    """A plan exercising every field, sized/valued at random."""
+    return FaultPlan(
+        seed=rng.getrandbits(16),
+        drop_prob=rng.uniform(0.0, 0.4),
+        corrupt_prob=rng.uniform(0.0, 0.4),
+        link_overrides={
+            f"niu{rng.randrange(16)}^": LinkFaultModel(
+                drop_prob=rng.uniform(0.0, 0.5)
+            )
+            for _ in range(rng.randrange(3))
+        },
+        degradations=tuple(
+            BandwidthEvent(
+                link=f"R1.0.{rng.randrange(4)}",
+                start=rng.uniform(0.0, 1.0),
+                duration=rng.uniform(1e-3, 1.0),
+                factor=rng.uniform(0.05, 1.0),
+                extra_latency=rng.uniform(0.0, 1e-4),
+            )
+            for _ in range(rng.randrange(3))
+        ),
+        stalls=tuple(
+            StallEvent(
+                node=rng.randrange(16),
+                start=rng.uniform(0.0, 1.0),
+                duration=rng.uniform(1e-3, 1.0),
+            )
+            for _ in range(rng.randrange(2))
+        ),
+        crashes=tuple(
+            CrashEvent(node=rng.randrange(16), start=rng.uniform(0.0, 1.0))
+            for _ in range(rng.randrange(2))
+        ),
+        slowdowns=tuple(
+            SlowdownEvent(
+                node=rng.randrange(16),
+                start=rng.uniform(0.0, 1.0),
+                duration=rng.uniform(1e-3, 1.0),
+                factor=rng.uniform(1.0, 16.0),
+            )
+            for _ in range(rng.randrange(3))
+        ),
+        jitters=tuple(
+            JitterEvent(
+                node=rng.randrange(16),
+                start=rng.uniform(0.0, 1.0),
+                duration=rng.uniform(1e-3, 1.0),
+                amp=rng.uniform(1e-7, 1e-4),
+            )
+            for _ in range(rng.randrange(2))
+        ),
+    )
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_plans_round_trip_exactly(self, seed):
+        plan = random_plan(random.Random(seed))
+        # Through actual JSON, as a service job spec would carry it.
+        wire = json.loads(json.dumps(plan.to_dict()))
+        assert FaultPlan.from_dict(wire) == plan
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_round_trip_preserves_behaviour_not_just_equality(self, seed):
+        plan = random_plan(random.Random(seed))
+        clone = FaultPlan.from_dict(plan.to_dict())
+        assert clone.active == plan.active
+        assert clone.degrading == plan.degrading
+        for link in ("niu0^", "niu7^", "R1.0.2->R0.0.1", "x"):
+            assert clone.model_for(link) == plan.model_for(link)
+            assert clone.link_seed(link) == plan.link_seed(link)
+
+    def test_empty_plan_round_trips(self):
+        plan = FaultPlan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+        assert not plan.active and not plan.degrading
+
+    def test_from_dict_tolerates_missing_keys(self):
+        # Old serialized plans (pre-performance-faults) lack the new
+        # event lists entirely.
+        plan = FaultPlan.from_dict({"seed": 3, "drop_prob": 0.1})
+        assert plan.seed == 3
+        assert plan.drop_prob == 0.1
+        assert plan.slowdowns == () and plan.jitters == ()
+
+
+class TestLinkSeedDeterminism:
+    def test_seed_depends_only_on_plan_seed_and_name(self):
+        a = FaultPlan(seed=7, drop_prob=0.2)
+        b = FaultPlan(seed=7, stalls=(StallEvent(node=1, start=0.0, duration=1.0),))
+        # Same (plan seed, link name) -> same stream seed, no matter
+        # what else the plan contains or in what order links appear.
+        for link in ("niu0^", "niu1^", "R1.0.0->R0.0.0"):
+            assert a.link_seed(link) == b.link_seed(link)
+
+    def test_distinct_links_get_distinct_streams(self):
+        plan = FaultPlan(seed=7)
+        seeds = {plan.link_seed(f"niu{i}^") for i in range(64)}
+        assert len(seeds) == 64
+
+    def test_distinct_plan_seeds_shift_every_link(self):
+        p0, p1 = FaultPlan(seed=0), FaultPlan(seed=1)
+        assert all(
+            p0.link_seed(f"niu{i}^") != p1.link_seed(f"niu{i}^")
+            for i in range(8)
+        )
+
+
+class TestValidation:
+    def test_probability_budget_enforced(self):
+        with pytest.raises(ValueError, match="must not exceed 1"):
+            FaultPlan(drop_prob=0.7, corrupt_prob=0.7)
+
+    def test_event_validation_catches_bad_magnitudes(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            SlowdownEvent(node=0, start=0.0, duration=1.0, factor=0.5)
+        with pytest.raises(ValueError, match="positive"):
+            BandwidthEvent(link="niu0^", start=0.0, duration=1.0, factor=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            JitterEvent(node=0, start=0.0, duration=1.0, amp=0.0)
+        with pytest.raises(ValueError, match="positive"):
+            BandwidthEvent(link="niu0^", start=0.0, duration=-1.0, factor=0.5)
+
+    def test_degrading_tracks_performance_faults_only(self):
+        assert not FaultPlan(drop_prob=0.5).degrading
+        assert FaultPlan(
+            slowdowns=(SlowdownEvent(node=0, start=0.0, duration=1.0, factor=2.0),)
+        ).degrading
+        assert FaultPlan(
+            jitters=(JitterEvent(node=0, start=0.0, duration=1.0, amp=1e-6),)
+        ).degrading
