@@ -58,6 +58,10 @@ echo "== fault-campaign smoke (bit-exact, bounded slowdown, no false evictions) 
 python -m repro campaign --smoke --out benchmarks/out
 
 echo
+echo "== topology scoreboard smoke (every fabric within 10% of its DES) =="
+python -m repro pfpp --topology all --crossval
+
+echo
 echo "== machine-readable benchmarks (schema'd BENCH_*.json) =="
 python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig02_logp.py \
@@ -66,7 +70,19 @@ python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_collectives.py \
   benchmarks/bench_service_throughput.py \
   benchmarks/bench_backend.py \
-  benchmarks/bench_straggler.py
+  benchmarks/bench_straggler.py \
+  benchmarks/bench_topology_pfpp.py
+
+python - <<'PY'
+from repro.obs.bench import read_bench
+
+record = read_bench("benchmarks/out/BENCH_topology.json")
+rows = record["data"]["rows"]
+gate = record["data"]["crossval_gate"]
+worst = max(record["model_error"].values())
+assert worst <= gate, f"topology crossval {worst:.1%} exceeds {gate:.0%}"
+print(f"BENCH_topology.json validates: {len(rows)} rows, worst crossval {worst:.2%}")
+PY
 
 echo
 echo "== chaos smoke (SIGKILL'd workers + service: nothing lost, bit-exact) =="

@@ -373,6 +373,8 @@ def _cmd_faults(args: argparse.Namespace) -> int:
 def _cmd_pfpp(args: argparse.Namespace) -> int:
     from repro.core.pfpp import fig12_table
 
+    if getattr(args, "topology", None):
+        return _pfpp_topology_scoreboard(args)
     tier = _backend_arg(args)
     if tier is not None:
         from repro.backend import format_sweep, large_sweep
@@ -398,6 +400,70 @@ def _cmd_pfpp(args: argparse.Namespace) -> int:
                 f"{b.tgsum * 1e6:7.1f}us {b.pfpp_ps / 1e6:9.1f}M "
                 f"{b.pfpp_ds / 1e6:9.2f}M"
             )
+    return 0
+
+
+#: default node counts of the cross-architecture scoreboard (the
+#: ``--nodes`` default belongs to the --backend sweep, not this mode).
+_SCOREBOARD_N = (256, 1024, 4096)
+_PFPP_NODES_DEFAULT = (16, 64, 256, 1024, 4096)
+
+
+def _pfpp_topology_scoreboard(args: argparse.Namespace) -> int:
+    """``repro pfpp --topology NAME|all``: the cross-architecture
+    PFPP scoreboard (analytic tier), optionally DES-cross-validated."""
+    from repro.core.pfpp import topology_scoreboard
+    from repro.network.errors import TopologyError
+    from repro.network.topology import (
+        SCOREBOARD_TOPOLOGIES,
+        crossvalidate_topology,
+        make_topology,
+    )
+
+    spec = args.topology.lower()
+    names = SCOREBOARD_TOPOLOGIES if spec == "all" else (spec,)
+    n_values = (
+        tuple(args.nodes)
+        if tuple(args.nodes) != _PFPP_NODES_DEFAULT
+        else _SCOREBOARD_N
+    )
+    try:
+        rows = topology_scoreboard(topologies=names, n_values=n_values)
+    except TopologyError as exc:
+        print(f"pfpp: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"{'N':>5s} {'topology':14s} {'grid':>9s} {'gsum alg':>12s} "
+        f"{'tgsum':>10s} {'texchxy':>10s} {'texchxyz':>12s} "
+        f"{'Pfpp,ps':>10s} {'Pfpp,ds':>10s} {'hops':>4s} {'bisect':>9s}"
+    )
+    for r in rows:
+        print(
+            f"{r.n_nodes:5d} {r.topology:14s} "
+            f"{r.grid[0]:>4d}x{r.grid[1]:<4d} {r.gsum_algorithm:>12s} "
+            f"{r.tgsum * 1e6:8.1f}us {r.texchxy * 1e6:8.1f}us "
+            f"{r.texchxyz * 1e6:10.1f}us {r.pfpp_ps / 1e6:9.1f}M "
+            f"{r.pfpp_ds / 1e6:9.2f}M {r.max_hops:4d} "
+            f"{r.bisection_bandwidth / 1e9:7.1f}GB"
+        )
+    print(
+        "(analytic tier; Pfpp = interconnect ceiling of eqs. 14-15, "
+        "global grid weak-scaled past N=256)"
+    )
+    if getattr(args, "crossval", False):
+        print()
+        print("DES cross-validation at N=16 (pairwise stream per topology):")
+        ok = True
+        for name in names:
+            r = crossvalidate_topology(make_topology(name, 16))
+            ok = ok and r["rel_err"] <= 0.10
+            print(
+                f"  {r['topology']:14s} des={r['des_s'] * 1e6:9.2f}us "
+                f"model={r['predicted_s'] * 1e6:9.2f}us "
+                f"err={r['rel_err'] * 100:5.2f}%"
+            )
+        print(f"cross-validation {'PASS' if ok else 'FAIL'} (gate: <=10%)")
+        return 0 if ok else 1
     return 0
 
 
@@ -729,8 +795,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--nodes",
         type=int,
         nargs="+",
-        default=[16, 64, 256, 1024, 4096],
-        help="processor counts for the --backend weak-scaling sweep",
+        default=list(_PFPP_NODES_DEFAULT),
+        help="processor counts for the --backend sweep or --topology "
+        "scoreboard (scoreboard default: 256 1024 4096)",
+    )
+    p_pfpp.add_argument(
+        "--topology",
+        metavar="NAME|all",
+        help="cross-architecture PFPP scoreboard: one registered "
+        "topology (fattree, torus2d, torus3d, mesh2d, hypercrossbar, "
+        "ethernet) or 'all'",
+    )
+    p_pfpp.add_argument(
+        "--crossval",
+        action="store_true",
+        help="with --topology: also DES-cross-validate each fabric at "
+        "N=16 (gate: <=10%%)",
     )
     _add_backend_flag(p_pfpp)
     p_pfpp.set_defaults(func=_cmd_pfpp)

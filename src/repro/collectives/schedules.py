@@ -74,6 +74,14 @@ def chunk_nbytes(nbytes: int, n_chunks: int, c: int) -> int:
     return ITEM_BYTES * chunk_elems(max(nbytes // ITEM_BYTES, 1), n_chunks, c)
 
 
+def chunk_range_nbytes(nbytes: int, n_chunks: int, lo: int, hi: int) -> int:
+    """Wire bytes of chunks ``lo..hi-1`` combined (closed form, O(1))."""
+    total = max(nbytes // ITEM_BYTES, 1)
+    return ITEM_BYTES * (
+        chunk_start(total, n_chunks, hi) - chunk_start(total, n_chunks, lo)
+    )
+
+
 @dataclass(frozen=True)
 class Send:
     """One directed message: ``src`` ships ``items`` (``nbytes`` on the
@@ -365,9 +373,13 @@ def allreduce_ring(n: int, nbytes: int) -> Schedule:
     )
 
 
-def _halving_rounds(n: int, nbytes: int, owned: List[set]) -> List[List[Send]]:
+def _halving_rounds(
+    n: int, nbytes: int, owned: List[set], elide: bool = False
+) -> List[List[Send]]:
     """Recursive halving: log2 n rounds ending with rank r holding the
-    full contribution set of chunk r.  Power-of-two only."""
+    full contribution set of chunk r.  Power-of-two only.  ``elide``
+    skips the O(n^2 log n) item bookkeeping (large-n timing-only
+    schedules), pricing each send with the closed-form range sum."""
     log_n = _require_pow2(n, "recursive halving")
     lo = [0] * n
     hi = [n] * n
@@ -380,13 +392,15 @@ def _halving_rounds(n: int, nbytes: int, owned: List[set]) -> List[List[Send]]:
             mid = lo[r] + d
             partner = r ^ d
             sent = range(mid, hi[r]) if r < mid else range(lo[r], mid)
-            items = tuple(
-                sorted(i for i in owned[r] if i[0] == "contrib" and i[2] in sent)
-            )
-            rnd.append(
-                Send(r, partner, sum(chunk_nbytes(nbytes, n, c) for c in sent), items)
-            )
-            gains.append((partner, items))
+            size = chunk_range_nbytes(nbytes, n, sent.start, sent.stop)
+            if elide:
+                items: Tuple[Item, ...] = ()
+            else:
+                items = tuple(
+                    sorted(i for i in owned[r] if i[0] == "contrib" and i[2] in sent)
+                )
+                gains.append((partner, items))
+            rnd.append(Send(r, partner, size, items))
             if r < mid:
                 hi[r] = mid
             else:
@@ -402,6 +416,25 @@ def allreduce_reduce_scatter_allgather(n: int, nbytes: int) -> Schedule:
     _require_pow2(n, "reduce-scatter+allgather")
     if n < 2:
         return Schedule("allreduce", "reduce_scatter_allgather", n, nbytes, 1, ())
+    elide = n > ITEMS_EXACT_MAX_N
+    if elide:
+        owned: List[set] = []
+        rounds = _halving_rounds(n, nbytes, owned, elide=True)
+        d = 1
+        while d < n:  # recursive-doubling allgather, closed-form sizes:
+            # after t rounds rank r holds the aligned chunk block
+            # [r & ~(d-1), (r & ~(d-1)) + d)
+            rnd = []
+            for r in range(n):
+                base = r & ~(d - 1)
+                size = chunk_range_nbytes(nbytes, n, base, base + d)
+                rnd.append(Send(r, r ^ d, size, ()))
+            rounds.append(rnd)
+            d *= 2
+        return Schedule(
+            "allreduce", "reduce_scatter_allgather", n, nbytes, n,
+            _freeze(rounds), items_elided=True,
+        )
     owned = [{("contrib", r, c) for c in range(n)} for r in range(n)]
     rounds = _halving_rounds(n, nbytes, owned)
     held = [{r} for r in range(n)]  # reduced chunks per rank

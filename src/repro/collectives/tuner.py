@@ -28,6 +28,12 @@ from .schedules import OPS, Schedule, candidates
 
 PriorityLike = Union[Priority, str]
 
+#: Above this rank count, algorithms whose schedules carry O(N^2) total
+#: messages are excluded from tuning (they cannot win and their
+#: schedule objects alone are prohibitively large).
+DENSE_SCHEDULE_MAX_N = 256
+QUADRATIC_ALGORITHMS = frozenset({"ring", "bruck"})
+
 
 def _as_priority(p: PriorityLike) -> Priority:
     if isinstance(p, Priority):
@@ -71,7 +77,10 @@ class Autotuner:
     """
 
     def __init__(
-        self, model: Optional[CommCostModel] = None, backend=None
+        self,
+        model: Optional[CommCostModel] = None,
+        backend=None,
+        topology=None,
     ) -> None:
         if backend is not None:
             from repro.backend import resolve_backend
@@ -81,6 +90,9 @@ class Autotuner:
                 raise ValueError("pass model= or backend=, not both")
             model = backend.model
         self.backend = backend
+        self.topology = topology
+        if model is None and topology is not None:
+            model = topology.cost_model()
         self.model = model or arctic_cost_model()
         self._cache: Dict[Tuple[str, int, int, Priority], CollectivePlan] = {}
         self.hits = 0
@@ -105,11 +117,23 @@ class Autotuner:
             self.hits += 1
             return hit
         self.misses += 1
-        schedules = {
-            name: fn(n, int(nbytes)) for name, fn in candidates(op, n).items()
-        }
+        builders = dict(candidates(op, n))
+        if n > DENSE_SCHEDULE_MAX_N:
+            # Ring/Bruck schedules carry O(N^2) total messages — at
+            # N=4096 that is ~16M Send objects to even *build*.  They
+            # never win above a few hundred ranks, so drop them unless
+            # nothing else applies.
+            slim = {
+                name: fn
+                for name, fn in builders.items()
+                if name not in QUADRATIC_ALGORITHMS
+            }
+            if slim:
+                builders = slim
+        schedules = {name: fn(n, int(nbytes)) for name, fn in builders.items()}
         costs = {
-            name: schedule_cost(sch, self.model) for name, sch in schedules.items()
+            name: schedule_cost(sch, self.model, topology=self.topology)
+            for name, sch in schedules.items()
         }
         if priority == Priority.HIGH:
             winner = min(costs, key=lambda a: (schedules[a].n_rounds, costs[a]))

@@ -152,12 +152,62 @@ def fig12_table(
 
 # -- PFPP under the best-known collective (autotuned, large N) ------------
 
-#: Node-count -> process grid for the reference 128x64 atmosphere.
+#: Legacy node-count -> process grid table, kept as a compatibility
+#: alias; :func:`reference_process_grid` now derives the grid for any
+#: power-of-two rank count (these three entries are what it returns).
 BEST_COLLECTIVE_GRIDS: Mapping[int, tuple[int, int]] = {
     16: (4, 4),
     64: (8, 8),
     256: (16, 16),
 }
+
+#: The reference 2.8125-degree atmosphere grid (Section 5).
+REFERENCE_NX, REFERENCE_NY = 128, 64
+
+
+def reference_process_grid(n_ranks: int) -> tuple[int, int]:
+    """The near-square power-of-two process grid for ``n_ranks``.
+
+    ``px >= py`` (the atmosphere grid is wider than tall), with the two
+    extents within a factor of two — the layout the paper's fixed table
+    used at 16/64/256, generalized to any power-of-two rank count.
+    """
+    if (
+        not isinstance(n_ranks, int)
+        or n_ranks < 1
+        or n_ranks & (n_ranks - 1)
+    ):
+        raise ValueError(
+            f"no reference process grid for N={n_ranks}: rank count "
+            f"must be a power of two >= 1"
+        )
+    k = n_ranks.bit_length() - 1
+    py = 1 << (k // 2)
+    px = n_ranks // py
+    return px, py
+
+
+def reference_decomposition(
+    n_ranks: int, olx: int = 3
+) -> tuple[Decomposition, float]:
+    """The reference atmosphere decomposition at ``n_ranks`` ranks.
+
+    Weak-scales the 128x64 global grid (doubling extents) whenever the
+    per-rank tile would be smaller than the halo requires — large
+    machines run proportionally larger problems, as every cited
+    large-N machine did.  Returns ``(decomposition, area_scale)`` where
+    ``area_scale`` is the global-grid growth factor relative to the
+    reference configuration (1.0 up to N=256), used to scale the
+    per-level point counts in eqs. (14)-(15).
+    """
+    px, py = reference_process_grid(n_ranks)
+    nx, ny = REFERENCE_NX, REFERENCE_NY
+    while nx // px <= olx:
+        nx *= 2
+    while ny // py <= olx:
+        ny *= 2
+    scale = (nx * ny) / float(REFERENCE_NX * REFERENCE_NY)
+    return Decomposition(nx, ny, px, py, olx=olx), scale
 
 
 @dataclass(frozen=True)
@@ -198,14 +248,7 @@ def best_collectives_table(
     model = arctic_cost_model()
     rows = []
     for n in n_values:
-        try:
-            px, py = BEST_COLLECTIVE_GRIDS[n]
-        except KeyError:
-            raise ValueError(
-                f"no reference process grid for N={n}; choose from "
-                f"{sorted(BEST_COLLECTIVE_GRIDS)}"
-            ) from None
-        decomp = Decomposition(128, 64, px, py, olx=3)
+        decomp, _scale = reference_decomposition(n)
         worst = max(
             range(decomp.n_ranks),
             key=lambda r: sum(decomp.edge_bytes(nz=1, width=1, rank=r)),
@@ -227,4 +270,95 @@ def best_collectives_table(
                 pfpp_ds=pfpp_ds(nds, nxy, plan.predicted_s, texchxy),
             )
         )
+    return rows
+
+
+# -- cross-architecture PFPP scoreboard (the topology zoo) -----------------
+
+
+@dataclass(frozen=True)
+class TopologyRow:
+    """One (machine shape, node count) row of the scoreboard."""
+
+    topology: str
+    n_nodes: int
+    grid: tuple[int, int]
+    #: allreduce algorithm the tuner picked on this machine ("mpi-fit"
+    #: on the shared-Ethernet baseline, whose gsum is the calibrated
+    #: measured fit rather than a tuned schedule).
+    gsum_algorithm: str
+    tgsum: float
+    texchxy: float
+    texchxyz: float
+    pfpp_ps: float
+    pfpp_ds: float
+    max_hops: int
+    bisection_bandwidth: float
+    #: weak-scaling growth of the global grid vs the reference config.
+    area_scale: float
+
+
+def topology_scoreboard(
+    topologies: tuple[str, ...] = None,
+    n_values: tuple[int, ...] = (256, 1024, 4096),
+    nps: float = ATM_PS_PARAMS.nps,
+    nxyz: int = ATM_PS_PARAMS.nxyz,
+    nds: float = DS_PARAMS.nds,
+    nxy: int = DS_PARAMS.nxy,
+) -> list[TopologyRow]:
+    """Where does the GCM land on each 1990s machine, and why.
+
+    For every registered topology (or the default line-up) at every
+    node count: the halo-exchange terms come from the topology's
+    calibrated cost model (hop-latency aware; shared media pay the
+    whole cluster's volume), the gsum is the per-topology autotuned
+    allreduce, and eqs. (14)-(15) convert them into the interconnect's
+    PFPP ceiling.  The global grid weak-scales past N=256
+    (:func:`reference_decomposition`), and the point counts in the
+    numerators scale with it, so rows at one N are directly comparable
+    across machines.
+    """
+    from repro.collectives.tuner import Autotuner
+    from repro.network.topology import SCOREBOARD_TOPOLOGIES, make_topology
+
+    names = tuple(topologies) if topologies else SCOREBOARD_TOPOLOGIES
+    rows = []
+    for n in n_values:
+        decomp, scale = reference_decomposition(n)
+        worst = max(
+            range(decomp.n_ranks),
+            key=lambda r: sum(decomp.edge_bytes(nz=1, width=1, rank=r)),
+        )
+        edges_xy = decomp.edge_bytes(nz=1, width=1, rank=worst)
+        edges_xyz = decomp.edge_bytes(nz=10, rank=worst)
+        for name in names:
+            topo = make_topology(name, n)
+            model = topo.cost_model()
+            texchxy = model.exchange_time(edges_xy, n_ranks=n)
+            texchxyz = model.exchange_time(edges_xyz, n_ranks=n)
+            if topo.shared_medium:
+                # MPI over the shared medium: the calibrated measured
+                # fit, exactly as the paper's Fig. 12 baselines.
+                tgsum = model.gsum_time(n)
+                algorithm = "mpi-fit"
+            else:
+                plan = Autotuner(topology=topo).plan("allreduce", n, 8)
+                tgsum = plan.predicted_s
+                algorithm = plan.algorithm
+            rows.append(
+                TopologyRow(
+                    topology=topo.name,
+                    n_nodes=n,
+                    grid=(decomp.px, decomp.py),
+                    gsum_algorithm=algorithm,
+                    tgsum=tgsum,
+                    texchxy=texchxy,
+                    texchxyz=texchxyz,
+                    pfpp_ps=pfpp_ps(nps, nxyz * scale, texchxyz),
+                    pfpp_ds=pfpp_ds(nds, nxy * scale, tgsum, texchxy),
+                    max_hops=topo.max_hop_distance(),
+                    bisection_bandwidth=topo.bisection_bandwidth(),
+                    area_scale=scale,
+                )
+            )
     return rows

@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro.sim import Engine
+from repro.network.errors import EndpointCountError
 from repro.network.fattree import FatTree, FatTreeParams
 from repro.niu.pci import PCIBus, PCIParams
 from repro.niu.startx import StarTX
@@ -37,6 +38,18 @@ class HyadesConfig:
     n_spares: int = 0
 
     def __post_init__(self) -> None:
+        # Validate at the config boundary, not deep inside fabric
+        # wiring: the fat tree only exists for power-of-two node counts.
+        if (
+            not isinstance(self.n_nodes, int)
+            or self.n_nodes < 2
+            or self.n_nodes & (self.n_nodes - 1)
+        ):
+            raise EndpointCountError(
+                self.n_nodes,
+                "a power-of-two node count >= 2",
+                topology="Hyades fat tree",
+            )
         if not (0 <= self.n_spares < self.n_nodes):
             raise ValueError(
                 f"n_spares must be in [0, n_nodes), got {self.n_spares} "

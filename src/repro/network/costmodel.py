@@ -97,6 +97,10 @@ class CommCostModel:
     #: True for a shared medium: exchange cost scales with the *total*
     #: volume injected by all ranks, not the per-rank volume.
     shared_medium: bool = False
+    #: Per-message wire latency surcharge (hops x stage latency) the
+    #: topology layer adds for machines whose fabric transit is not
+    #: already folded into the calibrated ``transfer_overhead``.
+    hop_latency: float = 0.0
 
     # ---- point-to-point -------------------------------------------------
 
@@ -104,7 +108,7 @@ class CommCostModel:
         """One-direction block transfer between two nodes."""
         if nbytes < 0:
             raise ValueError("nbytes must be non-negative")
-        return self.transfer_overhead + nbytes / self.bandwidth
+        return self.transfer_overhead + self.hop_latency + nbytes / self.bandwidth
 
     def perceived_bandwidth(self, nbytes: int) -> float:
         """Effective bytes/s of a single transfer of ``nbytes`` (Fig. 7)."""
@@ -137,21 +141,22 @@ class CommCostModel:
         # zero-byte entries mark walls / self-wraps: no transfer happens
         edges = [s for s in edge_bytes if s > 0]
         total = sum(edges)
+        overhead = self.transfer_overhead + self.hop_latency
         if self.shared_medium:
             t = 0.0
             for s in edges:
-                t += 2 * (self.transfer_overhead + s * n_ranks / self.bandwidth)
+                t += 2 * (overhead + s * n_ranks / self.bandwidth)
             return t
         t = 0.0
         for s in edges:
-            t += 2 * (self.transfer_overhead + s / self.bandwidth)
+            t += 2 * (overhead + s / self.bandwidth)
         if mixmode:
             if self.slave_bw_factor is None:
                 t *= 2.0  # master simply repeats the exchange for the slave
             else:
                 slave_bw = self.bandwidth * self.slave_bw_factor
                 for s in edges:
-                    t += 2 * (self.transfer_overhead + s / slave_bw)
+                    t += 2 * (overhead + s / slave_bw)
         if self.copy_bandwidth is not None:
             # One pack + one unpack of the per-rank halo volume.  In
             # mix-mode the slave's pack overlaps the master's DMA (the

@@ -1,0 +1,31 @@
+"""Named errors raised at the topology/fabric API boundary.
+
+Both subclass :class:`ValueError` so existing ``except ValueError``
+callers (and tests using ``pytest.raises(ValueError)``) keep working;
+the named types let API boundaries — ``repro pfpp``, ``HyadesConfig``,
+the topology registry — report *which* constraint was violated without
+string-matching messages.
+"""
+
+from __future__ import annotations
+
+
+class TopologyError(ValueError):
+    """A topology was misconfigured or an unknown topology was named."""
+
+
+class EndpointCountError(TopologyError):
+    """The requested endpoint count is invalid for the topology.
+
+    Carries the offending ``n_endpoints`` and the constraint it violated
+    so callers can re-raise with caller-level context (CLI flag name,
+    config field) without re-deriving the diagnosis.
+    """
+
+    def __init__(self, n_endpoints: int, requirement: str, topology: str = "fat tree") -> None:
+        self.n_endpoints = n_endpoints
+        self.requirement = requirement
+        self.topology = topology
+        super().__init__(
+            f"{topology} requires {requirement}; got n_endpoints={n_endpoints!r}"
+        )

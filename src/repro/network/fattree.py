@@ -13,10 +13,17 @@ standard butterfly/fat-tree bijection:
   ``(l, p'//2, j' + u*2**(l-2))``.
 
 Routing: ascend (choosing among equivalent up ports either by a fixed
-function of the source — preserving the per-path FIFO guarantee — or at
-random when the packet sets the *random uproute* bit) until the
+function of the source — preserving the per-path FIFO guarantee — or
+pseudo-randomly when the packet sets the *random uproute* bit) until the
 destination lies in the current subtree, then descend deterministically
 by the destination's address bits.
+
+Determinism guarantee: random-uproute choices are a pure hash of
+``(fabric seed, src, dst, per-source injection sequence, level)`` — no
+shared RNG stream — so identical ``(seed, workload)`` pairs reproduce
+identical packet paths regardless of event interleaving, how many other
+fabrics share the process, or what consumed the global ``random`` state
+(see ``tests/network/test_fattree.py::test_random_uproute_determinism``).
 
 End-to-end head latency over ``h`` links is ``h * 0.15 us`` (cut-through)
 plus one serialization time at the receiving endpoint; for the
@@ -27,12 +34,12 @@ endpoint serialization of a 16-byte packet (0.107 us) is added.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Iterable, Optional
 
-from repro.obs import trace as obs_trace
 from repro.sim import Engine
+from repro.network.errors import EndpointCountError
+from repro.network.fabrics import BaseFabric
 from repro.network.packet import Packet
 from repro.network.router import (
     ARCTIC_LINK_BANDWIDTH,
@@ -55,7 +62,39 @@ def _is_pow2(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
 
 
-class FatTree:
+def _mix32(*xs: int) -> int:
+    """FNV-1a-style integer mix: cheap, stateless, stable across runs."""
+    h = 0x811C9DC5
+    for x in xs:
+        h ^= x & 0xFFFFFFFF
+        h = (h * 0x01000193) & 0xFFFFFFFF
+        h ^= h >> 15
+    return h
+
+
+# -- pure wiring closed forms (exercised by the bijection tests) ------------
+
+
+def down_port_target(
+    n_endpoints: int, level: int, p: int, j: int, c: int
+) -> tuple:
+    """Where down port ``c`` of router ``(level, p, j)`` connects:
+    ``("ep", e)`` at level 1, else ``("router", (level-1, p', j'))``."""
+    if level == 1:
+        return ("ep", 2 * p + c)
+    return ("router", (level - 1, 2 * p + c, j % (1 << (level - 2))))
+
+
+def up_port_target(n_endpoints: int, level: int, p: int, j: int, u: int) -> tuple:
+    """Where up port ``u`` of router ``(level, p, j)`` connects:
+    ``("router", (level+1, p', j'))``, or ``None`` at the top level."""
+    levels = n_endpoints.bit_length() - 1
+    if level >= levels:
+        return None
+    return ("router", (level + 1, p // 2, j + u * (1 << (level - 1))))
+
+
+class FatTree(BaseFabric):
     """A full fat tree of Arctic routers serving ``n_endpoints`` NIUs.
 
     Endpoints attach via :meth:`attach_endpoint`, providing a sink callable
@@ -64,13 +103,12 @@ class FatTree:
     """
 
     def __init__(self, engine: Engine, n_endpoints: int, params: Optional[FatTreeParams] = None) -> None:
-        if not _is_pow2(n_endpoints) or n_endpoints < 2:
-            raise ValueError(f"n_endpoints must be a power of two >= 2, got {n_endpoints}")
-        self.engine = engine
-        self.n = n_endpoints
+        if not isinstance(n_endpoints, int) or not _is_pow2(n_endpoints) or n_endpoints < 2:
+            raise EndpointCountError(
+                n_endpoints, "a power-of-two endpoint count >= 2"
+            )
+        super().__init__(engine, n_endpoints, params or FatTreeParams())
         self.levels = n_endpoints.bit_length() - 1  # log2 N
-        self.params = params or FatTreeParams()
-        self._rng = random.Random(self.params.seed)
 
         # routers[(l, p, j)]
         self.routers: dict[tuple[int, int, int], ArcticRouter] = {}
@@ -81,82 +119,59 @@ class FatTree:
                         engine, name=f"R{lvl}.{p}.{j}"
                     )
 
-        self._endpoint_sinks: list[Optional[Callable[[Packet], None]]] = [None] * self.n
-        self._endpoint_dead: list[bool] = [False] * self.n
-        self.blackholed_packets = 0
-        #: Called with the endpoint id whenever :meth:`kill_endpoint`
-        #: fires (crash-recovery runtimes subscribe here).
-        self.crash_listeners: list[Callable[[int], None]] = []
-
         # Wire links.  up_links[(l,p,j)][u] and down_links[(l,p,j)][c].
         self.up_links: dict[tuple[int, int, int], list[Link]] = {}
         self.down_links: dict[tuple[int, int, int], list[Link]] = {}
-        self.inject_links: list[Link] = []
-
-        def mk(sink, name):
-            return Link(
-                engine,
-                sink,
-                bandwidth=self.params.link_bandwidth,
-                stage_latency=self.params.stage_latency,
-                name=name,
-            )
 
         for key, router in self.routers.items():
             l, p, j = key
             ups = []
             if l < self.levels:
                 for u in (0, 1):
-                    parent = (l + 1, p // 2, j + u * (1 << (l - 1)))
-                    ups.append(mk(self.routers[parent].receive, f"{router.name}^u{u}"))
+                    _, parent = up_port_target(self.n, l, p, j, u)
+                    ups.append(
+                        self._mk_link(self.routers[parent].receive, f"{router.name}^u{u}")
+                    )
             self.up_links[key] = ups
             downs = []
             for c in (0, 1):
-                if l == 1:
-                    ep = 2 * p + c
-                    downs.append(mk(self._make_endpoint_sink(ep), f"{router.name}_e{ep}"))
+                kind, target = down_port_target(self.n, l, p, j, c)
+                if kind == "ep":
+                    downs.append(
+                        self._mk_link(self._make_endpoint_sink(target), f"{router.name}_e{target}")
+                    )
                 else:
-                    child = (l - 1, 2 * p + c, j % (1 << (l - 2)))
-                    downs.append(mk(self.routers[child].receive, f"{router.name}_d{c}"))
+                    downs.append(
+                        self._mk_link(self.routers[target].receive, f"{router.name}_d{c}")
+                    )
             self.down_links[key] = downs
             router.route_fn = self._make_route_fn(key)
 
         for ep in range(self.n):
             leaf = (1, ep // 2, 0)
-            self.inject_links.append(mk(self.routers[leaf].receive, f"niu{ep}^"))
+            self.inject_links.append(
+                self._mk_link(self.routers[leaf].receive, f"niu{ep}^")
+            )
 
-    # -- wiring helpers -------------------------------------------------
-
-    def _make_endpoint_sink(self, ep: int) -> Callable[[Packet], None]:
-        def sink(pkt: Packet) -> None:
-            if self._endpoint_dead[ep]:
-                self.blackholed_packets += 1
-                tr = obs_trace.TRACER
-                if tr is not None:
-                    tr.instant(
-                        "fabric", f"ep{ep}", "blackhole", self.engine.now,
-                        cat="fault", args=obs_trace.emit_arg_packet(pkt),
-                    )
-                return
-            target = self._endpoint_sinks[ep]
-            if target is None:
-                raise RuntimeError(f"packet arrived at unattached endpoint {ep}")
-            pkt.recv_time = self.engine.now
-            target(pkt)
-
-        return sink
+    # -- routing --------------------------------------------------------
 
     def _make_route_fn(self, key: tuple[int, int, int]) -> Callable[[Packet], Link]:
         l, p, j = key
         lo = p << l
         hi = (p + 1) << l
+        seed = self.params.seed
 
         def route(pkt: Packet) -> Link:
             if lo <= pkt.dst < hi:
                 c = (pkt.dst >> (l - 1)) & 1
                 return self.down_links[key][c]
             if pkt.random_uproute:
-                u = self._rng.randrange(2)
+                # Stateless per-packet hash (not a shared RNG stream):
+                # reproducible for identical (seed, workload) pairs no
+                # matter how events interleave or what else runs in the
+                # process; distinct levels draw distinct bits.
+                h = _mix32(seed, pkt.src, pkt.dst, getattr(pkt, "inject_seq", 0))
+                u = (h >> ((l - 1) % 32)) & 1
             else:
                 # Fixed function of the source: keeps all messages of a
                 # (src, dst) pair on one path => FIFO ordering holds.
@@ -164,25 +179,6 @@ class FatTree:
             return self.up_links[key][u]
 
         return route
-
-    # -- public API -----------------------------------------------------
-
-    def attach_endpoint(self, ep: int, sink: Callable[[Packet], None]) -> None:
-        """Register the NIU receive callback for endpoint ``ep``."""
-        if not (0 <= ep < self.n):
-            raise ValueError(f"endpoint {ep} out of range 0..{self.n - 1}")
-        self._endpoint_sinks[ep] = sink
-
-    def inject(self, pkt: Packet) -> None:
-        """Endpoint ``pkt.src`` puts a packet on its injection link."""
-        if not (0 <= pkt.dst < self.n):
-            raise ValueError(f"destination {pkt.dst} out of range")
-        if pkt.src == pkt.dst:
-            # NIU loopback: no fabric traversal.
-            self.engine.schedule(0.0, lambda: self._make_endpoint_sink(pkt.dst)(pkt))
-            return
-        pkt.send_time = self.engine.now
-        self.inject_links[pkt.src].send(pkt)
 
     # -- analysis -------------------------------------------------------
 
@@ -192,10 +188,6 @@ class FatTree:
             return 0
         lca = (src ^ dst).bit_length()  # levels to ascend
         return 2 * lca
-
-    def head_latency(self, src: int, dst: int) -> float:
-        """Zero-load head latency for the deterministic path."""
-        return self.path_links(src, dst) * self.params.stage_latency
 
     def bisection_links(self) -> int:
         """Full-duplex links crossing the midline cut of the tree.
@@ -221,61 +213,17 @@ class FatTree:
         """The figure quoted in Section 2.2: ``2 * N * 150 MB/s``."""
         return 2 * self.n * self.params.link_bandwidth
 
-    def total_crc_errors(self) -> int:
-        """Corrupted packets dropped across all router stages."""
-        return sum(r.crc_errors for r in self.routers.values())
-
     # -- fault accounting ----------------------------------------------
 
-    def iter_links(self):
-        """Every directed link of the fabric (injection, up, down)."""
-        yield from self.inject_links
+    def _internal_links(self) -> Iterable[Link]:
         for links in self.up_links.values():
             yield from links
         for links in self.down_links.values():
             yield from links
 
-    def node_links(self, ep: int) -> list:
-        """The links touching endpoint ``ep``: its injection link and the
-        leaf router's down link toward it."""
+    def _delivery_link(self, ep: int) -> Link:
         leaf = (1, ep // 2, 0)
-        return [self.inject_links[ep], self.down_links[leaf][ep % 2]]
+        return self.down_links[leaf][ep % 2]
 
-    def kill_endpoint(self, ep: int) -> None:
-        """Crash endpoint ``ep``: it stops sending (injection link down
-        forever) and arriving packets are blackholed.
-
-        The death is recorded on the engine (so the deadlock watchdog
-        can name crashed nodes) and every registered crash listener is
-        notified at the instant of death.
-        """
-        if self._endpoint_dead[ep]:
-            return
-        self._endpoint_dead[ep] = True
-        self.inject_links[ep].stall(float("inf"))
-        self.engine.crashed_nodes[ep] = self.engine.now
-        tr = obs_trace.TRACER
-        if tr is not None:
-            tr.instant(
-                "fabric", f"ep{ep}", "crash", self.engine.now,
-                cat="fault", args={"endpoint": ep},
-            )
-        for listener in list(self.crash_listeners):
-            listener(ep)
-
-    def endpoint_dead(self, ep: int) -> bool:
-        """True when endpoint ``ep`` has been crashed."""
-        return self._endpoint_dead[ep]
-
-    def fault_counters(self) -> dict:
-        """Aggregate fault/error counters across the whole fabric."""
-        dropped = corrupted = 0
-        for link in self.iter_links():
-            dropped += link.stats.dropped
-            corrupted += link.stats.corrupted
-        return {
-            "link_drops": dropped,
-            "link_corruptions": corrupted,
-            "router_crc_drops": self.total_crc_errors(),
-            "blackholed": self.blackholed_packets,
-        }
+    def _iter_routers(self) -> Iterable[ArcticRouter]:
+        return iter(self.routers.values())

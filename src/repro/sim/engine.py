@@ -111,6 +111,7 @@ class Engine:
         self._seq = itertools.count()
         self._nevents = 0
         self._processes: list = []  # every Process ever registered (pruned lazily)
+        self._prune_threshold = 4096
         #: Crashed node ids -> virtual death time, maintained by the
         #: fabric's ``kill_endpoint``; the watchdog uses it to tell a
         #: dead-node stall apart from a protocol deadlock.
@@ -157,8 +158,13 @@ class Engine:
 
     def _register_process(self, proc: Any) -> None:
         self._processes.append(proc)
-        if len(self._processes) > 4096:
+        if len(self._processes) > self._prune_threshold:
             self._processes = [p for p in self._processes if p.alive]
+            # Doubling threshold keeps registration amortized O(1): when
+            # most processes are long-lived daemons (e.g. the ~3N link
+            # transmitters of a large fabric) a fixed threshold would
+            # rescan the full list on every append — O(P^2) wiring.
+            self._prune_threshold = max(4096, 2 * len(self._processes))
 
     def blocked_processes(self) -> list:
         """Worker (non-daemon) processes currently blocked on a waitable."""

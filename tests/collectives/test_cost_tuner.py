@@ -122,3 +122,51 @@ class TestBestCollectivesPfpp:
     def test_unknown_node_count_rejected(self):
         with pytest.raises(ValueError, match="process grid"):
             best_collectives_table(n_values=(48,))
+
+
+class TestTopologyAwareCosts:
+    """schedule_cost(topology=...) prices legs with real hop distances."""
+
+    def test_topology_none_unchanged(self):
+        from repro.collectives.cost import schedule_cost
+        from repro.collectives.schedules import build
+
+        sch = build("allreduce", "butterfly", 16, 8)
+        assert schedule_cost(sch) == schedule_cost(sch, topology=None)
+
+    def test_tuner_uses_topology_model(self):
+        from repro.collectives.tuner import Autotuner
+        from repro.network.topology import make_topology
+
+        topo = make_topology("torus2d", 16)
+        tuner = Autotuner(topology=topo)
+        assert tuner.model.name == topo.cost_model().name
+        plan = tuner.plan("allreduce", 16, 8)
+        assert plan.predicted_s > 0
+
+    def test_schedule_larger_than_machine_rejected(self):
+        from repro.collectives.cost import schedule_cost
+        from repro.collectives.schedules import build
+        from repro.network.errors import TopologyError
+        from repro.network.topology import make_topology
+
+        sch = build("allreduce", "butterfly", 32, 8)
+        with pytest.raises(TopologyError):
+            schedule_cost(sch, topology=make_topology("fattree", 16))
+
+    def test_distance_matters_on_grid(self):
+        """The same schedule must cost more on a machine where its legs
+        span more hops: price one far-pair send on a torus vs charging
+        the fat tree's flat latency."""
+        from repro.collectives.cost import schedule_cost
+        from repro.collectives.schedules import build
+        from repro.network.topology import make_topology
+
+        sch = build("allreduce", "butterfly", 64, 65536)
+        torus = make_topology("torus2d", 64)
+        xbar = make_topology("hypercrossbar", 64)
+        # 300 MB/s crossbar links vs 25 MB/s serial torus links at bulk
+        # payloads: the hardware difference must dominate
+        assert schedule_cost(sch, topology=torus) > schedule_cost(
+            sch, topology=xbar
+        )

@@ -112,3 +112,52 @@ def test_registry_covers_every_op():
     assert set(BUILDERS) == set(OPS)
     for op, algs in BUILDERS.items():
         assert algs, f"no algorithms registered for {op}"
+
+
+class TestElisionEquivalence:
+    """Elided (timing-only) schedules must price identically to the
+    exact item-carrying builds — same rounds, same src/dst, same bytes."""
+
+    @pytest.mark.parametrize("nbytes", [8, 1000, 65536])
+    @pytest.mark.parametrize("n", [8, 32, 64])
+    def test_rabenseifner_sizes_match_exact(self, monkeypatch, n, nbytes):
+        import repro.collectives.schedules as schedules
+
+        exact = build("allreduce", "reduce_scatter_allgather", n, nbytes)
+        assert not exact.items_elided
+        monkeypatch.setattr(schedules, "ITEMS_EXACT_MAX_N", n - 1)
+        elided = build("allreduce", "reduce_scatter_allgather", n, nbytes)
+        assert elided.items_elided
+        assert len(elided.rounds) == len(exact.rounds)
+        for re, rx in zip(elided.rounds, exact.rounds):
+            assert [(s.src, s.dst, s.nbytes) for s in re] == [
+                (s.src, s.dst, s.nbytes) for s in rx
+            ]
+
+    def test_chunk_range_matches_sum(self):
+        from repro.collectives.schedules import chunk_nbytes, chunk_range_nbytes
+
+        for nbytes in (8, 100, 65536):
+            for n in (4, 8, 64):
+                for lo in range(0, n, 3):
+                    for hi in range(lo, n + 1, 5):
+                        assert chunk_range_nbytes(nbytes, n, lo, hi) == sum(
+                            chunk_nbytes(nbytes, n, c) for c in range(lo, hi)
+                        )
+
+
+def test_tuner_drops_quadratic_algorithms_at_large_n():
+    """Above DENSE_SCHEDULE_MAX_N the tuner must not even build the
+    O(N^2)-message candidates (their schedules alone are huge)."""
+    from repro.collectives.tuner import (
+        Autotuner,
+        DENSE_SCHEDULE_MAX_N,
+        QUADRATIC_ALGORITHMS,
+    )
+
+    tuner = Autotuner()
+    small = tuner.plan("allreduce", DENSE_SCHEDULE_MAX_N, 8)
+    assert QUADRATIC_ALGORITHMS & set(small.costs)
+    large = tuner.plan("allreduce", 2 * DENSE_SCHEDULE_MAX_N, 8)
+    assert not (QUADRATIC_ALGORITHMS & set(large.costs))
+    assert large.algorithm in large.costs

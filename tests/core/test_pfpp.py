@@ -10,7 +10,15 @@ from repro.core.constants import (
     DS_PARAMS,
     FIG12_PAPER,
 )
-from repro.core.pfpp import ds_comm_budget, fig12_table, pfpp_ds, pfpp_ps
+from repro.core.pfpp import (
+    ds_comm_budget,
+    fig12_table,
+    pfpp_ds,
+    pfpp_ps,
+    reference_decomposition,
+    reference_process_grid,
+    topology_scoreboard,
+)
 
 US = 1e-6
 
@@ -113,3 +121,87 @@ class TestFig12FromModels:
 )
 def test_property_pfpp_scales_inversely_with_comm_time(nps, nxyz, t):
     assert pfpp_ps(nps, nxyz, 2 * t) == pytest.approx(pfpp_ps(nps, nxyz, t) / 2)
+
+
+class TestReferenceGrids:
+    """The derived process grids replacing the old fixed table."""
+
+    def test_paper_sizes_unchanged(self):
+        assert reference_process_grid(16) == (4, 4)
+        assert reference_process_grid(64) == (8, 8)
+        assert reference_process_grid(256) == (16, 16)
+
+    def test_any_pow2_derives(self):
+        assert reference_process_grid(1) == (1, 1)
+        assert reference_process_grid(2) == (2, 1)
+        assert reference_process_grid(512) == (32, 16)
+        assert reference_process_grid(1024) == (32, 32)
+        assert reference_process_grid(4096) == (64, 64)
+        assert reference_process_grid(16384) == (128, 128)
+
+    def test_non_pow2_raises(self):
+        for bad in (0, -4, 3, 48, 100):
+            with pytest.raises(ValueError, match="process grid"):
+                reference_process_grid(bad)
+
+    def test_grid_covers_ranks(self):
+        for k in range(1, 15):
+            px, py = reference_process_grid(1 << k)
+            assert px * py == 1 << k
+            assert px in (py, 2 * py)  # near-square, x-major
+
+    def test_decomposition_weak_scales_past_256(self):
+        d, scale = reference_decomposition(256)
+        assert (d.nx, d.ny) == (128, 64) and scale == 1.0
+        d, scale = reference_decomposition(1024)
+        assert scale == 2.0 and d.nx // d.px > d.olx and d.ny // d.py > d.olx
+        d, scale = reference_decomposition(4096)
+        assert scale == 8.0
+        assert d.nx * d.ny == pytest.approx(scale * 128 * 64)
+
+
+class TestTopologyScoreboard:
+    """The cross-architecture PFPP scoreboard (analytic tier)."""
+
+    @classmethod
+    def setup_class(cls):
+        cls.rows = topology_scoreboard(
+            topologies=("fattree", "torus3d", "ethernet"), n_values=(64, 256)
+        )
+
+    def test_row_coverage_and_order(self):
+        keys = [(r.n_nodes, r.topology) for r in self.rows]
+        assert keys == [
+            (64, "fattree"), (64, "torus3d"), (64, "ethernet"),
+            (256, "fattree"), (256, "torus3d"), (256, "ethernet"),
+        ]
+
+    def test_all_terms_positive(self):
+        for r in self.rows:
+            assert r.tgsum > 0 and r.texchxy > 0 and r.texchxyz > 0
+            assert r.pfpp_ps > 0 and r.pfpp_ds > 0
+            assert r.area_scale == 1.0  # no weak scaling needed <= 256
+
+    def test_fattree_dominates_ethernet(self):
+        by = {(r.n_nodes, r.topology): r for r in self.rows}
+        for n in (64, 256):
+            assert by[(n, "fattree")].pfpp_ps > by[(n, "ethernet")].pfpp_ps
+            assert by[(n, "fattree")].pfpp_ds > by[(n, "ethernet")].pfpp_ds
+
+    def test_ethernet_gsum_is_measured_fit(self):
+        assert all(
+            r.gsum_algorithm == "mpi-fit"
+            for r in self.rows
+            if r.topology == "ethernet"
+        )
+        assert all(
+            r.gsum_algorithm != "mpi-fit"
+            for r in self.rows
+            if r.topology != "ethernet"
+        )
+
+    def test_unknown_topology_raises(self):
+        from repro.network.errors import TopologyError
+
+        with pytest.raises(TopologyError):
+            topology_scoreboard(topologies=("nosuch",), n_values=(16,))

@@ -35,6 +35,20 @@ class TestClusterAssembly:
         net = cfg.n_nodes * cfg.interconnect_price_per_node_usd
         assert nodes == pytest.approx(net, rel=0.25)
 
+    def test_non_pow2_node_count_rejected_at_config(self):
+        """The fat tree only exists for power-of-two node counts; the
+        config boundary rejects others with the named error (still a
+        ValueError for old callers)."""
+        from repro.network.errors import EndpointCountError
+
+        for bad in (0, 1, 3, 12, 100):
+            with pytest.raises(EndpointCountError) as exc:
+                HyadesConfig(n_nodes=bad)
+            assert exc.value.n_endpoints == bad
+            assert "Hyades fat tree" in str(exc.value)
+        with pytest.raises(ValueError):
+            HyadesConfig(n_nodes=12)
+
     def test_smaller_cluster_configurable(self):
         c = HyadesCluster(HyadesConfig(n_nodes=4))
         assert c.total_cpus == 8

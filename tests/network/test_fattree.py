@@ -5,7 +5,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim import Engine
-from repro.network.fattree import FatTree, FatTreeParams
+from repro.network.errors import EndpointCountError
+from repro.network.fattree import (
+    FatTree,
+    FatTreeParams,
+    _mix32,
+    down_port_target,
+    up_port_target,
+)
 from repro.network.packet import Packet, Priority
 from repro.network.router import ARCTIC_STAGE_LATENCY
 
@@ -192,3 +199,171 @@ def test_property_path_links_symmetric(s, d):
     assert ft.path_links(s, d) == ft.path_links(d, s)
     if s != d:
         assert ft.path_links(s, d) >= 2
+
+
+# -- endpoint-count boundary -------------------------------------------------
+
+
+def test_invalid_sizes_raise_named_error():
+    """Non-power-of-two endpoint counts are rejected with the named
+    EndpointCountError (a ValueError) that cites the offending count."""
+    eng = Engine()
+    for bad in (0, 1, 3, 6, 12, 100):
+        with pytest.raises(EndpointCountError) as exc:
+            FatTree(eng, bad)
+        assert exc.value.n_endpoints == bad
+        assert "power-of-two" in str(exc.value)
+        assert str(bad) in str(exc.value)
+
+
+# -- wiring bijection at 1K/4K endpoints (pure closed forms) -----------------
+
+
+def _router_ids(n):
+    levels = n.bit_length() - 1
+    for l in range(1, levels + 1):
+        for p in range(n >> l):
+            for j in range(1 << (l - 1)):
+                yield (l, p, j)
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_wiring_bijection_closed_form(n):
+    """Every down port pairs with exactly one up port of its child (and
+    vice versa), level-1 down ports cover every endpoint exactly once,
+    and the port pairing is a bijection at N=1024 and N=4096."""
+    levels = n.bit_length() - 1
+    endpoints_seen = []
+    child_up_slots = set()  # (child router, up port) consumed by a parent
+    for key in _router_ids(n):
+        l, p, j = key
+        for c in (0, 1):
+            kind, target = down_port_target(n, l, p, j, c)
+            if l == 1:
+                assert kind == "ep"
+                endpoints_seen.append(target)
+                continue
+            assert kind == "router"
+            # exactly one up port of the child must point back here
+            backs = [
+                u
+                for u in (0, 1)
+                if up_port_target(n, *target, u) == ("router", key)
+            ]
+            assert backs == [j >> (l - 2)]
+            slot = (target, backs[0])
+            assert slot not in child_up_slots, f"double-wired {slot}"
+            child_up_slots.add(slot)
+    # level-1 down ports hit each endpoint exactly once
+    assert sorted(endpoints_seen) == list(range(n))
+    # every up port of every non-top router is consumed exactly once
+    expected_slots = {
+        (key, u) for key in _router_ids(n) if key[0] < levels for u in (0, 1)
+    }
+    assert child_up_slots == expected_slots
+    # and the reverse direction: each up port lands on an existing router
+    # whose down port c returns to the child
+    ids = set(_router_ids(n))
+    for key in _router_ids(n):
+        l, p, j = key
+        for u in (0, 1):
+            up = up_port_target(n, l, p, j, u)
+            if l == levels:
+                assert up is None
+                continue
+            kind, parent = up
+            assert kind == "router" and parent in ids
+            pl, pp, pj = parent
+            kind, back = down_port_target(n, *parent, p & 1)
+            assert (kind, back) == ("router", key)
+
+
+def _walk_route(n, src, dst, seed=0, inject_seq=0, random_uproute=False):
+    """Replay the router logic over the pure wiring forms; returns the
+    number of links traversed (injection + internal + delivery)."""
+    if src == dst:
+        return 0
+    links = 1  # injection link into the leaf router
+    cur = (1, src // 2, 0)
+    h = _mix32(seed, src, dst, inject_seq)
+    while True:
+        l, p, j = cur
+        if (p << l) <= dst < ((p + 1) << l):  # dst inside this subtree
+            kind, target = down_port_target(n, l, p, j, (dst >> (l - 1)) & 1)
+            links += 1
+            if kind == "ep":
+                assert target == dst
+                return links
+            cur = target
+        else:
+            u = (
+                (h >> ((l - 1) % 32)) & 1
+                if random_uproute
+                else (src >> (l - 1)) & 1
+            )
+            kind, cur = up_port_target(n, l, p, j, u)
+            links += 1
+            assert kind == "router"
+
+
+@pytest.mark.parametrize("n", [1024, 4096])
+def test_hop_counts_match_closed_form(n):
+    """Walking the wiring router-by-router lands on the destination in
+    exactly 2*lca links — the path_links closed form — for both the
+    deterministic and the randomized up-route, at N=1024/4096."""
+    half, quarter = n // 2, n // 4
+    pairs = [
+        (0, 1), (0, n - 1), (1, 0), (half - 1, half), (3, 3 ^ quarter),
+        (n - 1, 0), (7, 7 ^ half), (half, 2), (quarter, quarter + 3),
+    ]
+    for src, dst in pairs:
+        lca = (src ^ dst).bit_length()
+        assert _walk_route(n, src, dst) == 2 * lca
+        for inject_seq in range(4):
+            assert (
+                _walk_route(
+                    n, src, dst, seed=42, inject_seq=inject_seq,
+                    random_uproute=True,
+                )
+                == 2 * lca
+            )
+
+
+# -- random-uproute determinism ---------------------------------------------
+
+
+def _run_random_workload(seed):
+    """A mixed random_uproute workload; returns (per-dst recv times,
+    per-link packet counts) — together they identify the paths taken."""
+    eng, ft, inbox = build(16, seed=seed)
+    for i in range(60):
+        src, dst = (7 * i) % 16, (3 * i + 5) % 16
+        if src == dst:
+            dst = (dst + 1) % 16
+        ft.inject(
+            Packet(src=src, dst=dst, payload_words=[i, 0], random_uproute=True)
+        )
+    eng.run()
+    times = {
+        d: [(p.src, p.payload_words[0], p.recv_time) for p in box]
+        for d, box in inbox.items()
+    }
+    link_counts = {link.name: link.stats.packets for link in ft.iter_links()}
+    return times, link_counts
+
+
+def test_random_uproute_determinism():
+    """Documented guarantee: identical (seed, workload) -> identical
+    paths.  The route choice is a pure hash of (seed, src, dst,
+    inject_seq), so two runs agree link-for-link and time-for-time."""
+    times_a, links_a = _run_random_workload(seed=7)
+    times_b, links_b = _run_random_workload(seed=7)
+    assert times_a == times_b
+    assert links_a == links_b
+    # a different seed re-randomizes the up-paths (same deliveries,
+    # different link utilization)
+    times_c, links_c = _run_random_workload(seed=8)
+    assert links_c != links_a
+    assert {d: sorted(v[:2] for v in vs) for d, vs in times_c.items()} == {
+        d: sorted(v[:2] for v in vs) for d, vs in times_a.items()
+    }

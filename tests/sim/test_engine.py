@@ -189,3 +189,26 @@ def test_watchdog_with_perpetual_daemon_traffic_and_stop_when():
     assert beats == [1.0, 2.0, 3.0, 4.0, 5.0]
     assert t == 5.0
     assert not eng.empty()  # the daemon's next beat is still pending
+
+
+def test_register_process_prune_is_amortized():
+    """Registering P short-lived processes must stay amortized O(1):
+    the dead-process prune may not rescan the registry on every
+    registration once it exceeds the threshold (the old behaviour made
+    building a 4096-endpoint fabric quadratic)."""
+    eng = Engine()
+    base = eng._prune_threshold
+
+    def one_shot():
+        yield eng.timeout(0.0)
+
+    for _ in range(3 * base):
+        eng.process(one_shot(), daemon=True)
+    # all still alive: the threshold must have doubled past the
+    # population instead of pruning (and rescanning) every time
+    assert eng._prune_threshold >= len(eng._processes) > base
+    eng.run()
+    # after they die, the next registrations prune them away again
+    for _ in range(eng._prune_threshold + 1):
+        eng.process(one_shot(), daemon=True)
+    assert len(eng._processes) <= eng._prune_threshold
