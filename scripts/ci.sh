@@ -62,6 +62,10 @@ echo "== topology scoreboard smoke (every fabric within 10% of its DES) =="
 python -m repro pfpp --topology all --crossval
 
 echo
+echo "== mixed-precision tuning smoke (gated search must converge) =="
+python -m repro tune-precision --smoke --out benchmarks/out
+
+echo
 echo "== machine-readable benchmarks (schema'd BENCH_*.json) =="
 python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_fig02_logp.py \
@@ -71,7 +75,8 @@ python -m pytest -q -p no:cacheprovider --benchmark-disable \
   benchmarks/bench_service_throughput.py \
   benchmarks/bench_backend.py \
   benchmarks/bench_straggler.py \
-  benchmarks/bench_topology_pfpp.py
+  benchmarks/bench_topology_pfpp.py \
+  benchmarks/bench_precision.py
 
 python - <<'PY'
 from repro.obs.bench import read_bench
@@ -82,6 +87,22 @@ gate = record["data"]["crossval_gate"]
 worst = max(record["model_error"].values())
 assert worst <= gate, f"topology crossval {worst:.1%} exceeds {gate:.0%}"
 print(f"BENCH_topology.json validates: {len(rows)} rows, worst crossval {worst:.2%}")
+
+record = read_bench("benchmarks/out/BENCH_precision.json")
+data = record["data"]
+assert data["wire"]["reduction"] >= data["reduction_gate"], (
+    f"wire-byte reduction {data['wire']['reduction']:.0%} below "
+    f"{data['reduction_gate']:.0%}"
+)
+for topo, shift in data["pfpp_shift"].items():
+    assert shift["speedup_ps"] > 1.0, f"{topo}: no Pfpp,ps gain from tuned wire"
+print(
+    f"BENCH_precision.json validates: {data['n_evaluations']} evaluations, "
+    f"{data['wire']['reduction']:.0%} wire-byte reduction, "
+    f"Pfpp,ps x{min(s['speedup_ps'] for s in data['pfpp_shift'].values()):.2f}"
+    "..."
+    f"x{max(s['speedup_ps'] for s in data['pfpp_shift'].values()):.2f}"
+)
 PY
 
 echo

@@ -409,9 +409,41 @@ _SCOREBOARD_N = (256, 1024, 4096)
 _PFPP_NODES_DEFAULT = (16, 64, 256, 1024, 4096)
 
 
+def _pfpp_precision_args(args: argparse.Namespace) -> tuple:
+    """Resolve ``--precision`` into (label, scoreboard kwargs, note).
+
+    ``tuned`` loads the assignment a previous ``repro tune-precision``
+    persisted under ``--out`` (default ``benchmarks/out``); when no
+    tuned config exists it falls back to the ``wire32`` preset and says
+    so, rather than failing a scoreboard over a missing artifact.
+    """
+    from repro.precision import PrecisionConfig
+    from repro.precision.search import load_tuned_config
+
+    choice = getattr(args, "precision", None) or "all64"
+    note = None
+    if choice == "tuned":
+        tuned = load_tuned_config(getattr(args, "out", None) or "benchmarks/out")
+        if tuned is None:
+            note = (
+                "no tuned config found (run `repro tune-precision` first); "
+                "falling back to the wire32 preset"
+            )
+            config, choice = PrecisionConfig.preset("wire32"), "wire32"
+        else:
+            config = tuned
+    else:
+        config = PrecisionConfig.preset(choice)
+    return choice, config.scoreboard_args(), note
+
+
 def _pfpp_topology_scoreboard(args: argparse.Namespace) -> int:
     """``repro pfpp --topology NAME|all``: the cross-architecture
-    PFPP scoreboard (analytic tier), optionally DES-cross-validated."""
+    PFPP scoreboard (analytic tier), optionally DES-cross-validated.
+
+    With ``--precision wire32|tuned`` the all64 baseline rows are
+    followed by mixed-precision rows whose exchange/gsum payloads are
+    priced at the config's wire itemsizes."""
     from repro.core.pfpp import topology_scoreboard
     from repro.network.errors import TopologyError
     from repro.network.topology import (
@@ -427,15 +459,29 @@ def _pfpp_topology_scoreboard(args: argparse.Namespace) -> int:
         if tuple(args.nodes) != _PFPP_NODES_DEFAULT
         else _SCOREBOARD_N
     )
+    prec_name, prec_kwargs, prec_note = _pfpp_precision_args(args)
     try:
         rows = topology_scoreboard(topologies=names, n_values=n_values)
+        if prec_name != "all64":
+            rows = list(rows) + list(
+                topology_scoreboard(
+                    topologies=names,
+                    n_values=n_values,
+                    precision=prec_name,
+                    **prec_kwargs,
+                )
+            )
     except TopologyError as exc:
         print(f"pfpp: {exc}", file=sys.stderr)
         return 2
+    if prec_note:
+        print(f"note: {prec_note}")
+    wide = prec_name != "all64"
     print(
         f"{'N':>5s} {'topology':14s} {'grid':>9s} {'gsum alg':>12s} "
         f"{'tgsum':>10s} {'texchxy':>10s} {'texchxyz':>12s} "
         f"{'Pfpp,ps':>10s} {'Pfpp,ds':>10s} {'hops':>4s} {'bisect':>9s}"
+        + (f" {'precision':>10s}" if wide else "")
     )
     for r in rows:
         print(
@@ -445,11 +491,18 @@ def _pfpp_topology_scoreboard(args: argparse.Namespace) -> int:
             f"{r.texchxyz * 1e6:10.1f}us {r.pfpp_ps / 1e6:9.1f}M "
             f"{r.pfpp_ds / 1e6:9.2f}M {r.max_hops:4d} "
             f"{r.bisection_bandwidth / 1e9:7.1f}GB"
+            + (f" {r.precision:>10s}" if wide else "")
         )
     print(
         "(analytic tier; Pfpp = interconnect ceiling of eqs. 14-15, "
         "global grid weak-scaled past N=256)"
     )
+    if wide:
+        print(
+            "(mixed-precision rows price exchange payloads at the wire "
+            "itemsize; DES gsum and the shared-Ethernet mpi-fit gsum are "
+            "byte-insensitive — see docs/precision.md)"
+        )
     if getattr(args, "crossval", False):
         print()
         print("DES cross-validation at N=16 (pairwise stream per topology):")
@@ -668,6 +721,31 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if scorecard["ok"] else 1
 
 
+def _cmd_tune_precision(args: argparse.Namespace) -> int:
+    """Accuracy-gated mixed-precision search (Precimonious-style ddmin)."""
+    import pathlib
+    import tempfile
+
+    from repro.precision.report import format_search_result
+    from repro.precision.search import TUNED_CONFIG_NAME, tune_precision
+
+    root = None
+    if not args.in_process:
+        root = pathlib.Path(
+            args.dir or tempfile.mkdtemp(prefix="repro-precision-")
+        )
+        print(f"candidate evaluation via ensemble service in {root}")
+    result = tune_precision(
+        smoke=args.smoke,
+        service_root=root,
+        max_workers=args.workers,
+        out_dir=pathlib.Path(args.out),
+    )
+    print(format_search_result(result))
+    print(f"tuned config in {pathlib.Path(args.out) / TUNED_CONFIG_NAME}")
+    return 0 if result["passed"] else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Parse arguments and dispatch to the chosen subcommand."""
     parser = argparse.ArgumentParser(
@@ -681,7 +759,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "sections",
         nargs="*",
         help="fig2 fig7 fig8 fig10 fig11 fig12 sec53 collectives telemetry "
-        "faults recovery service",
+        "faults recovery service precision",
     )
     p_report.set_defaults(func=_cmd_report)
 
@@ -812,6 +890,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="with --topology: also DES-cross-validate each fabric at "
         "N=16 (gate: <=10%%)",
     )
+    p_pfpp.add_argument(
+        "--precision",
+        choices=["all64", "wire32", "tuned"],
+        default="all64",
+        help="with --topology: add scoreboard rows with exchange/gsum "
+        "payloads priced at the preset's (or the tuned config's) wire "
+        "itemsizes",
+    )
+    p_pfpp.add_argument(
+        "--out", default="benchmarks/out",
+        help="with --precision tuned: directory holding PRECISION_tuned.json",
+    )
     _add_backend_flag(p_pfpp)
     p_pfpp.set_defaults(func=_cmd_pfpp)
 
@@ -935,6 +1025,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     p_camp.add_argument("--json", action="store_true", help="print the raw scorecard")
     p_camp.set_defaults(func=_cmd_campaign)
+
+    p_tune = sub.add_parser(
+        "tune-precision",
+        help="accuracy-gated mixed-precision search: start from all32, "
+        "ddmin-revert the fewest groups to float64 that pass the "
+        "SST / kinetic-energy / overturning gates vs the float64 baseline",
+    )
+    p_tune.add_argument(
+        "--smoke", action="store_true",
+        help="reduced CI run (16x8 grid, 4 coupling windows)",
+    )
+    p_tune.add_argument(
+        "--out", default="benchmarks/out",
+        help="directory for PRECISION_tuned.json (default benchmarks/out)",
+    )
+    p_tune.add_argument(
+        "--dir", help="service root (default: a fresh temp directory)"
+    )
+    p_tune.add_argument(
+        "--in-process", action="store_true",
+        help="evaluate candidates inline instead of as ensemble-service jobs",
+    )
+    p_tune.add_argument("--workers", type=int, default=2)
+    p_tune.set_defaults(func=_cmd_tune_precision)
 
     p_century = sub.add_parser("century", help="the Section 6 century projection")
     p_century.set_defaults(func=_cmd_century)

@@ -39,12 +39,27 @@ def as_vector(value) -> np.ndarray:
     return arr
 
 
-class ItemStore:
-    """Per-rank item storage + serialization for one collective run."""
+#: On-wire element formats per payload width (big-endian, like _HDR).
+_WIRE_FMTS = {4: ">f4", 8: ">f8"}
 
-    def __init__(self, schedule: Schedule, rank: int, value=None) -> None:
+
+class ItemStore:
+    """Per-rank item storage + serialization for one collective run.
+
+    ``wire_dtype`` selects the payload element format (float64 by
+    default — the seed's bit-exact stream; float32 packs each element
+    in 4 bytes, so values quantize exactly once on first serialization
+    and every further hop is lossless).
+    """
+
+    def __init__(self, schedule: Schedule, rank: int, value=None, wire_dtype=None) -> None:
         self.schedule = schedule
         self.rank = rank
+        wd = np.dtype(wire_dtype if wire_dtype is not None else np.float64)
+        if wd.itemsize not in _WIRE_FMTS:
+            raise ValueError(f"wire dtype must be float32/float64, got {wd}")
+        self._wire_fmt = _WIRE_FMTS[wd.itemsize]
+        self._wire_size = wd.itemsize
         self.items: Dict[Item, np.ndarray] = {}
         op, n, c = schedule.op, schedule.n, schedule.chunking
         if op in ("allreduce", "reduce_scatter"):
@@ -102,8 +117,15 @@ class ItemStore:
             idx0 = item[1]
             idx1 = item[2] if len(item) > 2 else 0
             out.append(_HDR.pack(kind, idx0, idx1, len(arr)))
-            out.append(arr.astype(">f8").tobytes())
+            out.append(arr.astype(self._wire_fmt).tobytes())
         return b"".join(out)
+
+    def serialized_nbytes(self, items: Sequence[Item]) -> int:
+        """Exact wire size :meth:`serialize` would produce for ``items``
+        (headers + payload at this store's wire dtype), without packing."""
+        return 2 + sum(
+            _HDR.size + len(self.get(item)) * self._wire_size for item in items
+        )
 
     def absorb(self, data: bytes) -> None:
         """Merge a received message's items into the store."""
@@ -112,10 +134,10 @@ class ItemStore:
         for _ in range(count):
             kind, idx0, idx1, nelem = _HDR.unpack_from(data, off)
             off += _HDR.size
-            arr = np.frombuffer(data, dtype=">f8", count=nelem, offset=off).astype(
-                np.float64
-            )
-            off += nelem * 8
+            arr = np.frombuffer(
+                data, dtype=self._wire_fmt, count=nelem, offset=off
+            ).astype(np.float64)
+            off += nelem * self._wire_size
             name = _KIND_NAMES[kind]
             item: Item = (name, idx0) if name == "reduced" else (name, idx0, idx1)
             if name == "block":
@@ -142,13 +164,19 @@ class ItemStore:
         return None
 
 
-def run_schedule(schedule: Schedule, inputs: Optional[Sequence] = None) -> List:
+def run_schedule(
+    schedule: Schedule, inputs: Optional[Sequence] = None, wire_dtype=None
+) -> List:
     """Execute a schedule in-process; returns per-rank results.
 
     Reference semantics for the DES executors: within each round every
     rank serializes its sends from pre-round state, then all messages
     are absorbed — matching the DES rank processes, which post their
     sends before draining their receives.
+
+    ``wire_dtype`` narrows every message payload (see
+    :class:`ItemStore`); results then carry exactly the quantization a
+    float32 wire would produce, still deterministically.
     """
     if schedule.items_elided:
         raise ValueError(
@@ -158,7 +186,9 @@ def run_schedule(schedule: Schedule, inputs: Optional[Sequence] = None) -> List:
     n = schedule.n
     if inputs is None:
         inputs = [None] * n
-    stores = [ItemStore(schedule, r, inputs[r]) for r in range(n)]
+    stores = [
+        ItemStore(schedule, r, inputs[r], wire_dtype=wire_dtype) for r in range(n)
+    ]
     for rnd in schedule.rounds:
         wire: List[Tuple[int, bytes]] = [
             (s.dst, stores[s.src].serialize(s.items)) for s in rnd

@@ -296,6 +296,9 @@ class TopologyRow:
     bisection_bandwidth: float
     #: weak-scaling growth of the global grid vs the reference config.
     area_scale: float
+    #: wire precision the row is priced at ("all64" unless a
+    #: mixed-precision config narrowed the payloads).
+    precision: str = "all64"
 
 
 def topology_scoreboard(
@@ -305,6 +308,9 @@ def topology_scoreboard(
     nxyz: int = ATM_PS_PARAMS.nxyz,
     nds: float = DS_PARAMS.nds,
     nxy: int = DS_PARAMS.nxy,
+    itemsize: int = 8,
+    gsum_nbytes: int = 8,
+    precision: str = "all64",
 ) -> list[TopologyRow]:
     """Where does the GCM land on each 1990s machine, and why.
 
@@ -317,6 +323,14 @@ def topology_scoreboard(
     (:func:`reference_decomposition`), and the point counts in the
     numerators scale with it, so rows at one N are directly comparable
     across machines.
+
+    ``itemsize``/``gsum_nbytes`` price a mixed-precision wire (4 bytes
+    per element when :class:`repro.precision.PrecisionConfig` packs the
+    halo/gsum payloads at float32; see
+    :meth:`~repro.precision.PrecisionConfig.scoreboard_args`), and
+    ``precision`` labels the rows.  Caveat: the shared-medium gsum is
+    the calibrated measured fit, which has no byte term — only
+    exchange rows move on those machines.
     """
     from repro.collectives.tuner import Autotuner
     from repro.network.topology import SCOREBOARD_TOPOLOGIES, make_topology
@@ -329,8 +343,8 @@ def topology_scoreboard(
             range(decomp.n_ranks),
             key=lambda r: sum(decomp.edge_bytes(nz=1, width=1, rank=r)),
         )
-        edges_xy = decomp.edge_bytes(nz=1, width=1, rank=worst)
-        edges_xyz = decomp.edge_bytes(nz=10, rank=worst)
+        edges_xy = decomp.edge_bytes(nz=1, width=1, itemsize=itemsize, rank=worst)
+        edges_xyz = decomp.edge_bytes(nz=10, itemsize=itemsize, rank=worst)
         for name in names:
             topo = make_topology(name, n)
             model = topo.cost_model()
@@ -338,11 +352,12 @@ def topology_scoreboard(
             texchxyz = model.exchange_time(edges_xyz, n_ranks=n)
             if topo.shared_medium:
                 # MPI over the shared medium: the calibrated measured
-                # fit, exactly as the paper's Fig. 12 baselines.
+                # fit, exactly as the paper's Fig. 12 baselines (no
+                # byte term, so gsum_nbytes cannot move it).
                 tgsum = model.gsum_time(n)
                 algorithm = "mpi-fit"
             else:
-                plan = Autotuner(topology=topo).plan("allreduce", n, 8)
+                plan = Autotuner(topology=topo).plan("allreduce", n, gsum_nbytes)
                 tgsum = plan.predicted_s
                 algorithm = plan.algorithm
             rows.append(
@@ -359,6 +374,7 @@ def topology_scoreboard(
                     max_hops=topo.max_hop_distance(),
                     bisection_bandwidth=topo.bisection_bandwidth(),
                     area_scale=scale,
+                    precision=precision,
                 )
             )
     return rows

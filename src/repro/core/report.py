@@ -377,6 +377,19 @@ def _service_section() -> ReportSection:
     )
 
 
+def _precision_section() -> ReportSection:
+    """Mixed-precision presets (and any persisted tuned config): float32
+    cells per site and the static exchange+gsum wire-byte reduction."""
+    from repro.precision.report import precision_rows
+
+    return ReportSection(
+        "precision",
+        "Mixed precision - float32 cells per site and wire-byte reduction",
+        ["config", "state", "exch wire", "gsum wire", "cg", "wire bytes"],
+        precision_rows(out_dir="benchmarks/out"),
+    )
+
+
 #: Registry of report builders, in paper order.
 SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "fig2": _fig2_section,
@@ -391,6 +404,7 @@ SECTIONS: dict[str, Callable[[], ReportSection]] = {
     "faults": _faults_section,
     "recovery": _recovery_section,
     "service": _service_section,
+    "precision": _precision_section,
 }
 
 

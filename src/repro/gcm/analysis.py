@@ -47,8 +47,10 @@ def overturning_streamfunction(model: Model) -> np.ndarray:
 
     hx = HaloExchanger(model.decomp)
     o = model.decomp.olx
-    hfs = np.zeros((nz, ny, nx))
-    dxg = np.zeros((ny, nx))
+    # reassembled at the grid's working dtype so a float32 state is not
+    # silently promoted back to float64 by the metric products below
+    hfs = np.zeros((nz, ny, nx), dtype=model.grid.dtype)
+    dxg = np.zeros((ny, nx), dtype=model.grid.dtype)
     for r, t in enumerate(model.decomp.tiles):
         sl_src3 = (slice(None), slice(o, o + t.ny), slice(o, o + t.nx))
         sl_dst = (slice(None), slice(t.y0, t.y0 + t.ny), slice(t.x0, t.x0 + t.nx))
@@ -59,7 +61,7 @@ def overturning_streamfunction(model: Model) -> np.ndarray:
     transport = v * hfs * model.grid.drf[:, None, None] * dxg[None]  # m^3/s
     northward_per_layer = transport.sum(axis=-1)  # (nz, ny)
     # Psi at the top face of layer k = sum of layers above it
-    psi = np.zeros((nz + 1, ny))
+    psi = np.zeros((nz + 1, ny), dtype=northward_per_layer.dtype)
     psi[1:] = np.cumsum(northward_per_layer, axis=0)
     return psi / 1e6  # Sv
 

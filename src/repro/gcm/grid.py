@@ -76,6 +76,7 @@ class Grid:
         params: GridParams,
         decomp: Decomposition,
         depth: Optional[np.ndarray] = None,
+        dtype=np.float64,
     ) -> None:
         if (params.nx, params.ny) != (decomp.nx, decomp.ny):
             raise ValueError("grid extent must match decomposition extent")
@@ -83,9 +84,17 @@ class Grid:
         self.decomp = decomp
         self.c = params.constants
         self.nz = params.nz
-        self.drf = params.layer_thicknesses()
-        # z at layer centers (negative downward, surface at 0)
-        z_faces = np.concatenate([[0.0], -np.cumsum(self.drf)])
+        #: Working dtype of the metric and mask arrays (lateral metrics,
+        #: hfacs, drf/z columns).  Kernels multiply state by these every
+        #: step, so a float32 state is only honest if the metrics match
+        #: (NumPy would promote the product back to float64 otherwise).
+        self.dtype = np.dtype(dtype)
+        self.drf = params.layer_thicknesses().astype(self.dtype)
+        # z at layer centers (negative downward, surface at 0); derived
+        # from the float64 thicknesses, then stored at the working dtype
+        z_faces = np.concatenate(
+            [[0.0], -np.cumsum(params.layer_thicknesses())]
+        ).astype(self.dtype)
         self.z_top = z_faces[:-1]
         self.z_bot = z_faces[1:]
         self.z_center = 0.5 * (self.z_top + self.z_bot)
@@ -94,7 +103,7 @@ class Grid:
             depth = np.full((params.ny, params.nx), params.total_depth)
         if depth.shape != (params.ny, params.nx):
             raise ValueError(f"depth must be {(params.ny, params.nx)}, got {depth.shape}")
-        self.global_depth = np.asarray(depth, dtype=float)
+        self.global_depth = np.asarray(depth, dtype=self.dtype)
 
         self._build_lateral_metrics()
         self._build_hfacs()
@@ -135,10 +144,12 @@ class Grid:
             phi_n = np.deg2rad(lat_n)
 
             shape = t.shape2d
-            ones = np.ones(shape)
+            ones = np.ones(shape, dtype=self.dtype)
 
             def col(v):
-                return np.broadcast_to(v[:, None], shape).copy()
+                return np.broadcast_to(
+                    np.asarray(v, dtype=self.dtype)[:, None], shape
+                ).copy()
 
             self.lat_c.append(col(lat_c))
             self.dxc.append(col(a * np.cos(phi_c) * dlam))
@@ -192,7 +203,7 @@ class Grid:
                 s[:, o + t.ny :, :] = 0.0
             self.hfac_w.append(w)
             self.hfac_s.append(s)
-            self.mask_c.append((c > 0).astype(float))
+            self.mask_c.append((c > 0).astype(self.dtype))
             with np.errstate(divide="ignore"):
                 rh = np.where(c > 0, 1.0 / np.where(c > 0, c, 1.0), 0.0)
             self.recip_hfac_c.append(rh)

@@ -52,13 +52,21 @@ class ModelState:
     step_count: int = 0
 
     @classmethod
-    def zeros(cls, grid: Grid) -> "ModelState":
+    def zeros(cls, grid: Grid, dtypes=None) -> "ModelState":
+        """Allocate all fields; ``dtypes`` (name -> dtype, e.g. from
+        :meth:`repro.precision.PrecisionConfig.state_dtypes`) overrides
+        the float64 default per field."""
         st = cls(grid=grid)
         nz = grid.nz
+        dtypes = dtypes or {}
+
+        def dt(name):
+            return np.dtype(dtypes.get(name, np.float64))
+
         for name in FIELDS_3D:
-            st.fields3d[name] = [t.alloc3d(nz) for t in grid.decomp.tiles]
+            st.fields3d[name] = [t.alloc3d(nz, dtype=dt(name)) for t in grid.decomp.tiles]
         for name in FIELDS_2D:
-            st.fields2d[name] = [t.alloc2d() for t in grid.decomp.tiles]
+            st.fields2d[name] = [t.alloc2d(dtype=dt(name)) for t in grid.decomp.tiles]
         return st
 
     def __getitem__(self, name: str) -> List[np.ndarray]:

@@ -28,7 +28,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.gcm import operators as op
-from repro.gcm.cg import CGResult, preconditioned_cg
+from repro.gcm.cg import CGResult, _default_gsum, preconditioned_cg
 from repro.gcm.eos import IdealGasEOS, LinearEOS
 from repro.gcm.grid import Grid, GridParams
 from repro.gcm.operators import FlopCounter
@@ -45,6 +45,7 @@ from repro.network.costmodel import CommCostModel
 from repro.parallel.exchange import HaloExchanger, exchange_halos
 from repro.parallel.runtime import LockstepRuntime, MachineModel
 from repro.parallel.tiling import Decomposition
+from repro.precision import CastingOperator, quantize_gsum, resolve_precision
 
 
 @dataclass
@@ -78,6 +79,10 @@ class ModelConfig:
     #: w becomes prognostic and a 3-D Poisson solve projects the full
     #: velocity field to non-divergence each step.
     nonhydrostatic: bool = False
+    #: Mixed-precision assignment: ``None`` (the seed's all-float64
+    #: behaviour), a preset name ("all64"/"all32"/"wire32"), a dict, or
+    #: a :class:`repro.precision.PrecisionConfig`.
+    precision: Any = None
 
     def validate(self) -> None:
         """Reject configurations that would fail obscurely later."""
@@ -135,11 +140,13 @@ class Model:
     ) -> None:
         config.validate()
         self.config = config
+        self.precision = resolve_precision(config.precision)
+        prec = self.precision
         self.decomp = Decomposition(
             config.grid.nx, config.grid.ny, config.px, config.py, olx=config.olx
         )
-        self.grid = Grid(config.grid, self.decomp, depth=depth)
-        self.state = ModelState.zeros(self.grid)
+        self.grid = Grid(config.grid, self.decomp, depth=depth, dtype=prec.grid_dtype())
+        self.state = ModelState.zeros(self.grid, dtypes=prec.state_dtypes())
         # A decomposition smaller than an SMP (e.g. serial 1x1) runs one
         # rank per node.
         cpn = config.cpus_per_node
@@ -163,7 +170,9 @@ class Model:
             self.ds_decomp = Decomposition(
                 config.grid.nx, config.grid.ny, ds_px, ds_py, olx=1
             )
-            self.ds_grid = Grid(config.grid, self.ds_decomp, depth=depth)
+            self.ds_grid = Grid(
+                config.grid, self.ds_decomp, depth=depth, dtype=prec.grid_dtype()
+            )
         self.elliptic = EllipticOperator(self.ds_grid)
         if config.nonhydrostatic:
             from repro.gcm.nonhydrostatic import NonHydrostaticOperator
@@ -173,6 +182,16 @@ class Model:
             self.nh_operator = None
         self._hx_ps = HaloExchanger(self.decomp)
         self._hx_ds = HaloExchanger(self.ds_decomp)
+        # Mixed-precision wiring, resolved once: the all64 default keeps
+        # every path below bit- and cost-identical to the seed (8-byte
+        # itemsizes, no casts, no solver hooks).
+        self._ps_names = ("u", "v", "theta", "tracer", "phy")
+        self._ps_itemsizes = prec.exchange_itemsizes(self._ps_names)
+        self._ps_wire_dtypes = prec.exchange_wire_dtypes(self._ps_names)
+        self._solver_itemsize = prec.ds_itemsize()
+        self._solver_wire = prec.exchange_wire_dtype("ps")
+        self._gsum_nbytes = prec.gsum_nbytes()
+        self._cg_dtype = prec.cg_dtype()
         self._first_step = True
         self.history: List[StepStats] = []
         # Coupling fields (per-PS-tile 2-D arrays), set by the coupler:
@@ -210,6 +229,8 @@ class Model:
         rt.exchange(
             [st["u"], st["v"], st["theta"], st["tracer"], st["phy"]],
             width=cfg.olx,
+            itemsize=self._ps_itemsizes,
+            wire_dtypes=self._ps_wire_dtypes,
         )
         t_after_exch = rt.elapsed
 
@@ -336,6 +357,30 @@ class Model:
                 kwargs[key] = fieldlist[rank]
         return kwargs
 
+    def _cg_hooks(self, decomp):
+        """Solver communication hooks for the precision config, for a
+        CG running on ``decomp``: a wire-quantizing global sum when the
+        gsum stream is float32, a wire-casting exchange when the
+        pressure halo payload is.  ``(None, None)`` — the solver's
+        cost-free defaults — whenever the config leaves those wires at
+        the seed's float64."""
+        gsum_hook = None
+        if self._gsum_nbytes == 4:
+
+            def gsum_hook(partials):
+                quantized = quantize_gsum(partials, np.float32)
+                return float(np.float32(_default_gsum(quantized)))
+
+        exch_hook = None
+        if self._solver_wire is not None:
+            wire = self._solver_wire
+
+            def exch_hook(field_groups):
+                for f in field_groups:
+                    exchange_halos(decomp, f, width=1, wire_dtype=wire)
+
+        return gsum_hook, exch_hook
+
     def _solve_surface_pressure(self, u_star_t, v_star_t) -> tuple[CGResult, FlopCounter]:
         """Assemble RHS on the DS decomposition and run the PCG."""
         fc = FlopCounter()
@@ -351,15 +396,22 @@ class Model:
         g_vi = self._hx_ps.gather_global(vints)
         ds_ui = self._hx_ds.scatter_global(g_ui)
         ds_vi = self._hx_ds.scatter_global(g_vi)
-        exchange_halos(self.ds_decomp, ds_ui, width=1)
-        exchange_halos(self.ds_decomp, ds_vi, width=1)
+        exchange_halos(self.ds_decomp, ds_ui, width=1, wire_dtype=self._solver_wire)
+        exchange_halos(self.ds_decomp, ds_vi, width=1, wire_dtype=self._solver_wire)
         rhs = self.elliptic.rhs_from_transport(ds_ui, ds_vi, self.config.dt, fc)
+        operator = self.elliptic
+        if self._cg_dtype == np.float32:
+            operator = CastingOperator(self.elliptic, self._cg_dtype)
+            rhs = [b.astype(self._cg_dtype) for b in rhs]
+        gsum_hook, exch_hook = self._cg_hooks(self.ds_decomp)
         result = preconditioned_cg(
-            self.elliptic,
+            operator,
             rhs,
             fc,
             tol=self.config.cg_tol,
             maxiter=self.config.cg_maxiter,
+            global_sum=gsum_hook,
+            exchange=exch_hook,
         )
         # regrid solution DS -> PS and refresh halos (shared memory)
         g_ps = self._hx_ds.gather_global(result.x)
@@ -390,11 +442,20 @@ class Model:
         st = self.state
         fc = FlopCounter()
         u, v, w = st["u"], st["v"], st["w"]
-        for f in (u, v, w):
-            exchange_halos(self.decomp, f, width=1)
+        prec = self.precision
+        for name, f in (("u", u), ("v", v), ("w", w)):
+            exchange_halos(
+                self.decomp, f, width=1, wire_dtype=prec.exchange_wire_dtype(name)
+            )
         rhs = self.nh_operator.rhs_from_velocity(u, v, w, cfg.dt, fc)
+        operator = self.nh_operator
+        if self._cg_dtype == np.float32:
+            operator = CastingOperator(self.nh_operator, self._cg_dtype)
+            rhs = [b.astype(self._cg_dtype) for b in rhs]
+        gsum_hook, exch_hook = self._cg_hooks(self.decomp)
         result = pcg(
-            self.nh_operator, rhs, fc, tol=cfg.cg_tol, maxiter=cfg.cg_maxiter
+            operator, rhs, fc, tol=cfg.cg_tol, maxiter=cfg.cg_maxiter,
+            global_sum=gsum_hook, exchange=exch_hook,
         )
         for r in range(self.decomp.n_ranks):
             u2, v2, w2 = self.nh_operator.correct(
@@ -418,12 +479,14 @@ class Model:
                 self.decomp.edge_bytes(nz=self.grid.nz, width=1, rank=r)
             ),
         )
-        edges = self.decomp.edge_bytes(nz=self.grid.nz, width=1, rank=interior)
+        edges = self.decomp.edge_bytes(
+            nz=self.grid.nz, width=1, itemsize=self._solver_itemsize, rank=interior
+        )
         rt.sync()
         rt.charge_phase(
             compute=ni * per_iter / rt.machine.fds,
             exchange=ni * 2 * be.exchange_time(edges, mixmode=rt.mixmode, n_ranks=rt.n_ranks),
-            gsum=ni * 2 * be.gsum_time(rt.n_nodes, smp=rt.mixmode),
+            gsum=ni * 2 * be.gsum_time(rt.n_nodes, self._gsum_nbytes, smp=rt.mixmode),
             flops=fc.total,
             n_exchanges=2 * ni,
             n_gsums=2 * ni,
@@ -448,9 +511,11 @@ class Model:
             range(n_ds_tiles),
             key=lambda r: sum(self.ds_decomp.edge_bytes(nz=1, width=1, rank=r)),
         )
-        edges = self.ds_decomp.edge_bytes(nz=1, width=1, rank=interior)
+        edges = self.ds_decomp.edge_bytes(
+            nz=1, width=1, itemsize=self._solver_itemsize, rank=interior
+        )
         t_exch = ni * 2 * be.exchange_time(edges, mixmode=False)
-        t_gsum = ni * 2 * be.gsum_time(rt.n_nodes, smp=rt.mixmode)
+        t_gsum = ni * 2 * be.gsum_time(rt.n_nodes, self._gsum_nbytes, smp=rt.mixmode)
         rt.sync()
         rt.charge_phase(
             compute=t_compute,

@@ -70,6 +70,7 @@ def exchange_halos(
     decomp: Decomposition,
     fields: Sequence[np.ndarray],
     width: Optional[int] = None,
+    wire_dtype=None,
 ) -> None:
     """Fill halo regions of every tile of one field, in place.
 
@@ -77,6 +78,14 @@ def exchange_halos(
     ``(ny+2o, nx+2o)`` or 3-D ``(nz, ny+2o, nx+2o)``).  ``width`` can
     request a narrower exchange than the allocated halo (e.g. width-1
     exchanges in DS within width-3 halos).
+
+    ``wire_dtype`` models a reduced-precision wire payload: every copied
+    halo slab passes through that dtype before landing, exactly as if it
+    had been packed at 4 bytes per element and upcast by the receiver
+    (see :mod:`repro.precision`).  The pass-2 corner re-send of pass-1
+    halo data is safe because the cast is idempotent (float32 values
+    survive a float64 round trip bit-exactly).  ``None`` keeps the
+    seed's cast-free copies.
 
     The copy schedule depends only on the decomposition and the width,
     so it is built once and cached on the decomposition — the CG solver
@@ -103,8 +112,13 @@ def exchange_halos(
     plan = cache.get(w)
     if plan is None:
         plan = cache[w] = _build_plan(decomp, w)
-    for dst, di, src, si in plan:
-        fields[dst][di] = fields[src][si]
+    if wire_dtype is None:
+        for dst, di, src, si in plan:
+            fields[dst][di] = fields[src][si]
+    else:
+        wire_dtype = np.dtype(wire_dtype)
+        for dst, di, src, si in plan:
+            fields[dst][di] = fields[src][si].astype(wire_dtype)
 
 
 class HaloExchanger:

@@ -261,26 +261,49 @@ class LockstepRuntime:
         self,
         fields: Sequence[Sequence[np.ndarray]] | Sequence[np.ndarray],
         width: Optional[int] = None,
-        itemsize: int = 8,
+        itemsize: int | Sequence[int] = 8,
+        wire_dtypes=None,
     ) -> None:
         """Exchange halos of one or more fields and charge virtual time.
 
         ``fields`` is either one field (a list of per-rank tile arrays)
         or a list of such fields exchanged back-to-back (the PS phase
         exchanges five three-dimensional state fields per step).
+
+        ``itemsize`` prices the wire: one int for every field, or one
+        per field when a mixed-precision config narrows some payloads.
+        ``wire_dtypes`` (one dtype-or-None per field, or a single value
+        for all) applies the matching value-level quantization; None
+        keeps a field's copies cast-free.
         """
         first = fields[0]
         multi = isinstance(first, (list, tuple))
         field_list = list(fields) if multi else [fields]  # type: ignore[list-item]
+        if isinstance(itemsize, (int, np.integer)):
+            itemsizes = [int(itemsize)] * len(field_list)
+        else:
+            itemsizes = [int(s) for s in itemsize]
+            if len(itemsizes) != len(field_list):
+                raise ValueError(
+                    f"need {len(field_list)} itemsizes, got {len(itemsizes)}"
+                )
+        if wire_dtypes is None or not isinstance(wire_dtypes, (list, tuple)):
+            wire_list = [wire_dtypes] * len(field_list)
+        else:
+            wire_list = list(wire_dtypes)
+            if len(wire_list) != len(field_list):
+                raise ValueError(
+                    f"need {len(field_list)} wire dtypes, got {len(wire_list)}"
+                )
 
         costs = np.zeros(self.n_ranks)
         total_bytes = 0
-        for f in field_list:
+        for f, isz, wdt in zip(field_list, itemsizes, wire_list):
             arr0 = f[0]
             nz = 1 if arr0.ndim == 2 else arr0.shape[0]
-            exchange_halos(self.decomp, f, width)
+            exchange_halos(self.decomp, f, width, wire_dtype=wdt)
             for r in range(self.n_ranks):
-                edges = self.decomp.edge_bytes(nz=nz, width=width, itemsize=itemsize, rank=r)
+                edges = self.decomp.edge_bytes(nz=nz, width=width, itemsize=isz, rank=r)
                 if self.degradation is not None:
                     costs[r] += self.backend.exchange_time(
                         edges, mixmode=self.mixmode, n_ranks=self.n_ranks,
@@ -320,15 +343,30 @@ class LockstepRuntime:
 
     # -- global sum ---------------------------------------------------------
 
-    def global_sum(self, values: Sequence[float]) -> float:
-        """All-reduce one scalar per rank; synchronizes every clock."""
+    def global_sum(
+        self,
+        values: Sequence[float],
+        nbytes: int = 8,
+        wire_dtype=None,
+    ) -> float:
+        """All-reduce one scalar per rank; synchronizes every clock.
+
+        ``nbytes`` prices the per-element wire payload; ``wire_dtype``
+        applies the matching value quantization (each rank's
+        contribution and the broadcast result pass through that dtype).
+        The defaults are the seed's bit-exact float64 stream.
+        """
+        if wire_dtype is not None and np.dtype(wire_dtype) != np.float64:
+            values = np.asarray(values, dtype=wire_dtype).astype(np.float64)
         result = self._summer(values)
+        if wire_dtype is not None and np.dtype(wire_dtype) != np.float64:
+            result = float(np.asarray(result).astype(wire_dtype))
         if self.degradation is not None:
             t_g = self.backend.gsum_time(
-                self.n_nodes, 8, smp=self.mixmode, now=self.elapsed
+                self.n_nodes, nbytes, smp=self.mixmode, now=self.elapsed
             )
         else:
-            t_g = self.backend.gsum_time(self.n_nodes, 8, smp=self.mixmode)
+            t_g = self.backend.gsum_time(self.n_nodes, nbytes, smp=self.mixmode)
         before = self.clocks.copy()
         now = float(before.max())
         self.clocks[:] = now + t_g

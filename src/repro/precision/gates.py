@@ -1,0 +1,176 @@
+"""Accuracy gates: is a precision candidate scientifically acceptable?
+
+A candidate :class:`~repro.precision.PrecisionConfig` is judged against
+the all-float64 baseline over a **reference coupled run** (a short
+atmosphere-ocean integration on a 2x2 process grid, so halo wires and
+global sums actually carry data).  Three relative-error gates cover the
+quantities a climate run exists to produce:
+
+``sst``
+    the ocean's surface temperature field (the coupler's boundary
+    condition),
+``kinetic_energy``
+    the ocean's volume-integrated kinetic energy (bulk circulation
+    strength),
+``overturning``
+    the meridional overturning streamfunction (Fig. 9's headline
+    diagnostic).
+
+Relative error is the L2 norm of the difference over the L2 norm of the
+baseline (plain ``|a-b|/|b|`` for the scalar KE).  Two **hard gates**
+ride on top and fail a candidate regardless of tolerances: every field
+must stay finite (NaN/inf blowup check) and every elliptic solve must
+have converged — a float32 CG cannot reach the model's 1e-7 residual
+target (float32 eps is 1.2e-7), and a solver that silently runs to
+``maxiter`` is not a usable configuration even when the short reference
+run still looks plausible.
+
+Tolerances were set empirically from the reference run: ``wire32``
+(float32 halo + gsum payloads, float64 state and solver) sits 1-2
+orders of magnitude inside every gate, while configs that flip state or
+solver storage to float32 land outside at least one.  See
+``docs/precision.md`` for the measured error table behind the numbers.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.precision.config import PrecisionConfig, resolve_precision
+
+#: Relative-error ceilings per diagnostic, set empirically on the
+#: reference run: ``wire32`` lands at 1e-10..3e-8 (1-2 orders inside),
+#: an all-float32 *state* at 1.4e-7..8e-7 (outside on all three), and
+#: the measured culprit — float32 theta storage — fails every gate on
+#: its own.  See docs/precision.md for the full error table.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "sst": 1e-8,
+    "kinetic_energy": 5e-8,
+    "overturning": 2e-7,
+}
+
+#: Reference coupled run: small enough for a CI smoke, large enough
+#: that a 2x2 decomposition has interior wires on every tile edge and
+#: long enough (16 coupling windows) for float32 storage error to
+#: accumulate clear of the wire-quantization floor.
+REFERENCE_RUN = {
+    "nx": 32, "ny": 16, "nz_atm": 4, "nz_ocn": 8,
+    "px": 2, "py": 2, "dt": 1200.0,
+    "coupling_interval": 2, "n_windows": 16,
+}
+
+#: Smoke-sized variant (same shape, shorter and laterally smaller).
+SMOKE_RUN = {**REFERENCE_RUN, "nx": 16, "ny": 8, "n_windows": 4}
+
+
+def reference_diagnostics(precision=None, smoke: bool = False) -> dict:
+    """Run the reference coupled integration at ``precision`` and
+    return its gate diagnostics (JSON-serializable: arrays as lists).
+
+    ``converged`` is True only if every surface-pressure solve of both
+    isomorphs converged; ``finite`` only if no state field holds
+    NaN/inf at the end.
+    """
+    from repro.gcm.analysis import overturning_streamfunction
+    from repro.gcm.coupled import coupled_model
+    from repro.gcm.diagnostics import is_finite, total_kinetic_energy
+
+    run = SMOKE_RUN if smoke else REFERENCE_RUN
+    cm = coupled_model(
+        nx=run["nx"], ny=run["ny"], nz_atm=run["nz_atm"], nz_ocn=run["nz_ocn"],
+        px=run["px"], py=run["py"], dt=run["dt"],
+        coupling_interval=run["coupling_interval"],
+        precision=resolve_precision(precision),
+    )
+    cm.run(run["n_windows"])
+    finite = bool(is_finite(cm.ocean) and is_finite(cm.atmosphere))
+    converged = all(
+        h.cg_converged and h.nh_converged
+        for m in (cm.ocean, cm.atmosphere)
+        for h in m.history
+    )
+    return {
+        "sst": np.asarray(cm.ocean.surface_temperature(), dtype=float).tolist(),
+        "kinetic_energy": float(total_kinetic_energy(cm.ocean)),
+        "overturning": np.asarray(
+            overturning_streamfunction(cm.ocean), dtype=float
+        ).tolist(),
+        "finite": finite,
+        "converged": converged,
+        "mean_ni": float(cm.ocean.mean_ni()),
+    }
+
+
+def _rel_error(candidate, baseline) -> float:
+    """L2 relative error (scalar inputs degrade to ``|a-b|/|b|``)."""
+    a = np.asarray(candidate, dtype=float)
+    b = np.asarray(baseline, dtype=float)
+    if a.shape != b.shape:
+        raise ValueError(f"diagnostic shapes differ: {a.shape} vs {b.shape}")
+    if not np.all(np.isfinite(a)):
+        return math.inf
+    denom = float(np.linalg.norm(b.ravel()))
+    if denom == 0.0:
+        return float(np.linalg.norm(a.ravel()))
+    return float(np.linalg.norm((a - b).ravel())) / denom
+
+
+@dataclass
+class GateReport:
+    """Outcome of gating one candidate against the float64 baseline."""
+
+    config_name: str
+    passed: bool
+    finite: bool
+    converged: bool
+    errors: Dict[str, float] = field(default_factory=dict)
+    tolerances: Dict[str, float] = field(default_factory=dict)
+    failures: list = field(default_factory=list)
+    mean_ni: float = 0.0
+
+    def to_dict(self) -> dict:
+        """Plain-dict form (JSON-serializable)."""
+        return {
+            "config_name": self.config_name,
+            "passed": self.passed,
+            "finite": self.finite,
+            "converged": self.converged,
+            "errors": dict(self.errors),
+            "tolerances": dict(self.tolerances),
+            "failures": list(self.failures),
+            "mean_ni": self.mean_ni,
+        }
+
+
+def gate_candidate(
+    config: PrecisionConfig,
+    baseline: Mapping,
+    smoke: bool = False,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> GateReport:
+    """Run the reference integration at ``config`` and gate it against
+    ``baseline`` (a :func:`reference_diagnostics` result at all64)."""
+    tol = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        tol.update(tolerances)
+    diag = reference_diagnostics(config, smoke=smoke)
+    errors = {k: _rel_error(diag[k], baseline[k]) for k in tol}
+    failures = [k for k, e in errors.items() if not (e <= tol[k])]
+    if not diag["finite"]:
+        failures.append("finite")
+    if not diag["converged"]:
+        failures.append("converged")
+    return GateReport(
+        config_name=config.name,
+        passed=not failures,
+        finite=diag["finite"],
+        converged=diag["converged"],
+        errors=errors,
+        tolerances=tol,
+        failures=failures,
+        mean_ni=diag["mean_ni"],
+    )

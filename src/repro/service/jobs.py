@@ -23,7 +23,9 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 #: Job kinds the worker can execute (see :mod:`repro.service.worker`).
-JOB_KINDS = ("ocean", "sweep", "sleep", "flaky", "fail", "wedge", "campaign")
+JOB_KINDS = (
+    "ocean", "sweep", "sleep", "flaky", "fail", "wedge", "campaign", "precision",
+)
 
 
 class JobPriority(enum.IntEnum):

@@ -220,6 +220,22 @@ def _run_campaign(
     return run_scenario(dict(spec.params), beat=beat)
 
 
+def _run_precision(
+    spec: JobSpec, job_dir: Optional[pathlib.Path], beat: Callable[[], None]
+) -> dict:
+    """One mixed-precision candidate evaluation (see
+    :mod:`repro.precision.search`).
+
+    The gate report is deterministic in ``spec.params`` and its
+    ``digest`` is the CRC of the canonical report, so inline and
+    service evaluation of the same candidate are mutually checkable.
+    """
+    from repro.precision.search import run_candidate
+
+    beat()
+    return run_candidate(dict(spec.params), beat=beat)
+
+
 def execute_job(
     spec: JobSpec,
     job_dir: Optional[pathlib.Path] = None,
@@ -249,6 +265,8 @@ def execute_job(
         result = _run_wedge(spec)
     elif spec.kind == "campaign":
         result = _run_campaign(spec, job_dir, beat)
+    elif spec.kind == "precision":
+        result = _run_precision(spec, job_dir, beat)
     else:  # unreachable: JobSpec validates its kind
         raise ValueError(f"unknown job kind {spec.kind!r}")
     result.update({"job_id": spec.job_id, "kind": spec.kind, "attempt": attempt})

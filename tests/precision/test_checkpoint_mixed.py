@@ -1,0 +1,119 @@
+"""Mixed-dtype checkpoint round trips (the precision regression of the
+restart path): a float32-storage model must restart bit-exactly from
+both the global archive and per-rank shards, with dtypes preserved."""
+
+import numpy as np
+
+from repro.gcm.checkpoint import (
+    load_checkpoint,
+    load_state_shard,
+    save_checkpoint,
+    save_state_shard,
+)
+from repro.gcm.ocean import ocean_model
+from repro.precision import PrecisionConfig
+
+FIELDS = ("u", "v", "theta", "tracer", "ps")
+
+#: float32 state everywhere, but a float64 wire so the exchange/gsum
+#: paths stay on their default branches (storage is what's under test).
+STATE32 = PrecisionConfig.preset("all64").with_cells(
+    [(f, "state") for f in ("u", "v", "w", "theta", "tracer", "ps", "phy")],
+    "float32",
+    name="state32",
+)
+
+
+def fresh(px=2, py=2, precision=STATE32):
+    return ocean_model(
+        nx=16, ny=8, nz=3, px=px, py=py, dt=600.0, precision=precision
+    )
+
+
+def globals_of(m):
+    return {n: m.state.to_global(n) for n in FIELDS}
+
+
+def test_mixed_state_is_actually_float32():
+    m = fresh()
+    for n in ("u", "theta", "ps"):
+        for tile in m.state[n]:
+            assert tile.dtype == np.float32, n
+
+
+def test_global_round_trip_bit_exact_at_float32(tmp_path):
+    a = fresh()
+    a.run(6)
+    reference = globals_of(a)
+
+    b = fresh()
+    b.run(3)
+    ckpt = save_checkpoint(b, tmp_path / "mid")
+    c = fresh()
+    load_checkpoint(c, ckpt)
+    c.run(3)
+
+    for n in FIELDS:
+        got = c.state.to_global(n)
+        assert got.dtype == reference[n].dtype, n
+        np.testing.assert_array_equal(got, reference[n], err_msg=n)
+
+
+def test_checkpoint_payload_keeps_narrow_dtype(tmp_path):
+    """The archive stores float32 fields at float32 (no silent widening
+    on disk), and restoring into a float32 model keeps float32 tiles."""
+    a = fresh()
+    a.run(2)
+    path = save_checkpoint(a, tmp_path / "narrow")
+    payload = np.load(path)
+    for n in FIELDS:
+        key = ("f2_" if n == "ps" else "f3_") + n
+        assert payload[key].dtype == np.float32, n
+    b = fresh()
+    load_checkpoint(b, path)
+    for n in FIELDS:
+        for tile in b.state[n]:
+            assert tile.dtype == np.float32, n
+
+
+def test_shard_round_trip_bit_exact_at_float32(tmp_path):
+    a = fresh()
+    a.run(4)
+    reference = globals_of(a)
+
+    b = fresh()
+    b.run(2)
+    for rank in range(b.decomp.n_ranks):
+        save_state_shard(b, rank, tmp_path / f"shard-{rank}")
+    c = fresh()
+    for rank in range(c.decomp.n_ranks):
+        meta = load_state_shard(c, rank, tmp_path / f"shard-{rank}")
+    c.state.time = meta["time"]
+    c.state.step_count = meta["step_count"]
+    c._first_step = meta["first_step"]
+    c.run(2)
+
+    for n in FIELDS:
+        np.testing.assert_array_equal(
+            c.state.to_global(n), reference[n], err_msg=n
+        )
+
+
+def test_mixed_and_pure_models_checkpoint_independently(tmp_path):
+    """A float64 model restarted from its own checkpoint is unaffected
+    by the precision plumbing (the all64 default regression)."""
+    a = ocean_model(nx=16, ny=8, nz=3, px=2, py=2, dt=600.0)
+    a.run(4)
+    reference = globals_of(a)
+
+    b = ocean_model(nx=16, ny=8, nz=3, px=2, py=2, dt=600.0)
+    b.run(2)
+    p = save_checkpoint(b, tmp_path / "pure")
+    c = ocean_model(nx=16, ny=8, nz=3, px=2, py=2, dt=600.0)
+    load_checkpoint(c, p)
+    c.run(2)
+    for n in FIELDS:
+        assert c.state.to_global(n).dtype == np.float64
+        np.testing.assert_array_equal(
+            c.state.to_global(n), reference[n], err_msg=n
+        )

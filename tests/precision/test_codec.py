@@ -1,0 +1,87 @@
+"""Property tests for the casting wire codec (cast == pack->unpack,
+idempotence, exact byte accounting)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.precision import WireCodec, quantize_gsum
+
+finite_doubles = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-1e30, max_value=1e30
+)
+
+
+def arrays(draw, n):
+    return np.array(draw(st.lists(finite_doubles, min_size=n, max_size=n)))
+
+
+class TestCastMatchesWire:
+    @given(st.data(), st.integers(min_value=1, max_value=64))
+    @settings(max_examples=60, deadline=None)
+    def test_cast_equals_pack_unpack(self, data, n):
+        """``cast`` must reproduce bit-for-bit what a receiver would see
+        after the literal big-endian wire round trip."""
+        arr = arrays(data.draw, n)
+        codec = WireCodec(np.float32)
+        cast = np.asarray(codec.cast(arr), dtype=np.float64)
+        wire = codec.roundtrip(arr)
+        np.testing.assert_array_equal(cast, wire)
+
+    @given(st.data(), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_cast_is_idempotent(self, data, n):
+        """A second trip through the wire changes nothing (the pass-2
+        corner resend of the halo exchange relies on this)."""
+        arr = arrays(data.draw, n)
+        codec = WireCodec(np.float32)
+        once = np.asarray(codec.cast(arr), dtype=np.float64)
+        twice = np.asarray(codec.cast(once), dtype=np.float64)
+        np.testing.assert_array_equal(once, twice)
+
+    @given(st.data(), st.integers(min_value=1, max_value=32))
+    @settings(max_examples=40, deadline=None)
+    def test_float64_wire_is_identity(self, data, n):
+        arr = arrays(data.draw, n)
+        codec = WireCodec(np.float64)
+        assert codec.cast(arr) is arr
+        np.testing.assert_array_equal(codec.roundtrip(arr), arr)
+
+
+class TestByteAccounting:
+    @pytest.mark.parametrize("dtype,itemsize", [(np.float32, 4), (np.float64, 8)])
+    def test_pack_length_is_exact(self, dtype, itemsize):
+        codec = WireCodec(dtype)
+        arr = np.linspace(0.0, 1.0, 17)
+        data = codec.pack(arr)
+        assert len(data) == codec.nbytes(arr.size) == 17 * itemsize
+
+    def test_counter_accumulates_cast_and_pack(self):
+        codec = WireCodec(np.float32)
+        codec.cast(np.zeros(10))
+        codec.pack(np.zeros(3))
+        assert codec.bytes_packed == (10 + 3) * 4
+
+    def test_unpack_offset(self):
+        codec = WireCodec(np.float32)
+        arr = np.arange(8.0)
+        data = b"\x00" * 12 + codec.pack(arr)
+        out = codec.unpack(data, count=8, offset=12).astype(np.float64)
+        np.testing.assert_array_equal(out, arr.astype(np.float32))
+
+    def test_bad_dtype_rejected(self):
+        with pytest.raises(ValueError, match="wire dtype"):
+            WireCodec(np.int32)
+
+
+class TestQuantizeGsum:
+    def test_float64_returns_none(self):
+        assert quantize_gsum([1.0, 2.0], np.float64) is None
+
+    def test_float32_quantizes_each_partial(self):
+        partials = [1.0 + 1e-12, np.pi]
+        got = quantize_gsum(partials, np.float32)
+        expected = [float(np.float32(p)) for p in partials]
+        assert got == expected
+        assert all(isinstance(v, float) for v in got)

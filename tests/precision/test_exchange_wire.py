@@ -1,0 +1,131 @@
+"""Wire-dtype semantics of the halo exchange and the runtime wrappers:
+both directions (x with periodic wrap, y with walls), corners, and
+byte accounting at the narrowed itemsize."""
+
+import numpy as np
+import pytest
+
+from repro.parallel.exchange import HaloExchanger, exchange_halos
+from repro.parallel.runtime import LockstepRuntime
+from repro.parallel.tiling import Decomposition
+
+
+def global_field(nx, ny, nz=None, seed=0):
+    rng = np.random.default_rng(seed)
+    shape = (ny, nx) if nz is None else (nz, ny, nx)
+    return rng.standard_normal(shape)
+
+
+def scatter(decomp, g):
+    return HaloExchanger(decomp).scatter_global(g)
+
+
+@pytest.mark.parametrize("px,py,olx", [(4, 4, 3), (2, 4, 1), (8, 1, 3), (4, 2, 2)])
+@pytest.mark.parametrize("nz", [None, 3])
+def test_float32_wire_equals_prequantized_exchange(px, py, olx, nz):
+    """Exchanging float64 tiles over a float32 wire must fill exactly
+    the halos a float64 exchange of the pre-quantized global field
+    would — in both directions and in the corners (the pass-2 corner
+    resend re-casts already-quantized data, which is an identity)."""
+    d = Decomposition(32, 16, px, py, olx=olx)
+    g = global_field(32, 16, nz=nz, seed=7)
+
+    tiles = scatter(d, g)
+    exchange_halos(d, tiles, wire_dtype=np.float32)
+
+    ref = scatter(d, g.astype(np.float32).astype(np.float64))
+    exchange_halos(d, ref)
+
+    o = d.olx
+    for rank, (got, want) in enumerate(zip(tiles, ref)):
+        t = d.tile(rank)
+        interior = (..., slice(o, o + t.ny), slice(o, o + t.nx))
+        # interiors are never cast: still the original float64 bits
+        np.testing.assert_array_equal(got[interior], g[
+            ..., t.y0 : t.y0 + t.ny, t.x0 : t.x0 + t.nx
+        ], err_msg=f"rank {rank} interior")
+        # halos carry exactly one trip through the float32 wire
+        halo = np.ones(got.shape, dtype=bool)
+        halo[interior] = False
+        np.testing.assert_array_equal(
+            got[halo], want[halo], err_msg=f"rank {rank} halo"
+        )
+
+
+def test_float32_wire_idempotent():
+    """A second exchange over the same wire changes no bits."""
+    d = Decomposition(16, 8, 2, 2, olx=2)
+    tiles = scatter(d, global_field(16, 8, seed=3))
+    exchange_halos(d, tiles, wire_dtype=np.float32)
+    snap = [t.copy() for t in tiles]
+    exchange_halos(d, tiles, wire_dtype=np.float32)
+    for a, b in zip(snap, tiles):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_float64_wire_is_a_no_op_cast():
+    d = Decomposition(16, 8, 2, 2, olx=2)
+    a = scatter(d, global_field(16, 8, seed=5))
+    b = [t.copy() for t in a]
+    exchange_halos(d, a)
+    exchange_halos(d, b, wire_dtype=np.float64)
+    for x, y in zip(a, b):
+        np.testing.assert_array_equal(x, y)
+
+
+class TestRuntimeWire:
+    def make_rt(self, px=2, py=2):
+        return LockstepRuntime(Decomposition(16, 8, px, py, olx=2))
+
+    def test_exchange_itemsize_prices_the_wire(self):
+        """Halving the itemsize must halve the exchange's virtual cost
+        (latency terms aside, the same edges carry half the bytes)."""
+        rt4, rt8 = self.make_rt(), self.make_rt()
+        f4 = scatter(rt4.decomp, global_field(16, 8, seed=1))
+        f8 = scatter(rt8.decomp, global_field(16, 8, seed=1))
+        rt8.exchange([f8], itemsize=8)
+        rt4.exchange([f4], itemsize=4)
+        assert 0 < rt4.elapsed < rt8.elapsed
+
+    def test_exchange_itemsize_length_mismatch_rejected(self):
+        rt = self.make_rt()
+        f = scatter(rt.decomp, global_field(16, 8, seed=1))
+        with pytest.raises(ValueError):
+            rt.exchange([f], itemsize=[4, 8])
+
+    def test_exchange_wire_dtype_casts_per_field(self):
+        rt = self.make_rt()
+        g = global_field(16, 8, seed=2)
+        cast = scatter(rt.decomp, g)
+        kept = scatter(rt.decomp, g)
+        rt.exchange([cast, kept], itemsize=[4, 8],
+                    wire_dtypes=[np.float32, None])
+        ref32 = scatter(rt.decomp, g)
+        exchange_halos(rt.decomp, ref32, wire_dtype=np.float32)
+        ref64 = scatter(rt.decomp, g)
+        exchange_halos(rt.decomp, ref64)
+        for got, want in zip(cast, ref32):
+            np.testing.assert_array_equal(got, want)
+        for got, want in zip(kept, ref64):
+            np.testing.assert_array_equal(got, want)
+
+    def test_global_sum_float32_wire_quantizes(self):
+        """The gsum wire quantizes each rank's partial on the way in and
+        the total on the way out."""
+        rt = self.make_rt()
+        vals = [1.0 + 1e-12, np.pi, -2.0 / 3.0, 1e-9]
+        got = rt.global_sum(vals, nbytes=4, wire_dtype=np.float32)
+        q = np.asarray(vals).astype(np.float32).astype(np.float64)
+        want = float(np.float32(self.make_rt().global_sum(list(q))))
+        assert got == want
+
+    def test_global_sum_float64_wire_bit_exact(self):
+        rt, ref = self.make_rt(), self.make_rt()
+        vals = [1.0 + 1e-12, np.pi, -2.0 / 3.0, 1e-9]
+        assert rt.global_sum(vals, wire_dtype=np.float64) == ref.global_sum(vals)
+
+    def test_gsum_nbytes_prices_the_wire(self):
+        rt4, rt8 = self.make_rt(), self.make_rt()
+        rt8.global_sum([1.0] * 4, nbytes=8)
+        rt4.global_sum([1.0] * 4, nbytes=4)
+        assert 0 < rt4.elapsed <= rt8.elapsed

@@ -1,0 +1,118 @@
+"""The accuracy-gated search: gates, ddmin bisection and the persisted
+tuned artifact (smoke scale, inline evaluation)."""
+
+import numpy as np
+import pytest
+
+from repro.precision import PrecisionConfig
+from repro.precision.gates import gate_candidate, reference_diagnostics
+from repro.precision.search import (
+    config_for_reverts,
+    leaf_groups,
+    load_tuned_config,
+    result_digest,
+    run_candidate,
+    tune_precision,
+    wire_byte_reduction,
+)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return reference_diagnostics(smoke=True)
+
+
+class TestGates:
+    def test_baseline_is_finite_and_converged(self, baseline):
+        assert baseline["finite"] and baseline["converged"]
+        assert np.all(np.isfinite(baseline["sst"]))
+
+    def test_all64_passes_trivially(self, baseline):
+        report = gate_candidate(
+            PrecisionConfig.preset("all64"), baseline, smoke=True
+        )
+        assert report.passed and not report.failures
+        assert all(err == 0.0 for err in report.errors.values())
+
+    def test_wire32_passes_the_gates(self, baseline):
+        report = gate_candidate(
+            PrecisionConfig.preset("wire32"), baseline, smoke=True
+        )
+        assert report.passed, report.failures
+        assert all(
+            report.errors[k] <= report.tolerances[k] for k in report.errors
+        )
+
+    def test_report_round_trips_to_dict(self, baseline):
+        report = gate_candidate(
+            PrecisionConfig.preset("all64"), baseline, smoke=True
+        )
+        d = report.to_dict()
+        assert d["passed"] and d["config_name"] == "all64"
+        assert set(d["errors"]) == set(d["tolerances"])
+
+
+class TestSearchPlumbing:
+    def test_leaf_groups_cover_every_revertible_cell(self):
+        groups = leaf_groups()
+        names = [g[0] for g in groups]
+        assert len(names) == len(set(names)) == 16
+        assert sum(1 for n in names if n.startswith("state:")) == 7
+        assert sum(1 for n in names if n.startswith("exchange_wire:")) == 7
+        assert "gsum_wire" in names and "cg_internals" in names
+
+    def test_config_for_reverts(self):
+        groups = [g for g in leaf_groups() if g[0] == "state:theta"]
+        cfg = config_for_reverts(groups)
+        assert cfg.precision("theta", "state") == "float64"
+        assert cfg.precision("u", "state") == "float32"
+        assert cfg.precision("theta", "exchange_wire") == "float32"
+
+    def test_result_digest_deterministic(self, baseline):
+        a = gate_candidate(PrecisionConfig.preset("all64"), baseline, smoke=True)
+        b = gate_candidate(PrecisionConfig.preset("all64"), baseline, smoke=True)
+        assert result_digest(a) == result_digest(b)
+
+    def test_run_candidate_matches_direct_gate(self, baseline):
+        """Inline and worker-path evaluation of the same candidate must
+        agree on the digest (the service determinism contract)."""
+        params = {
+            "config": PrecisionConfig.preset("wire32").to_dict(),
+            "baseline": baseline,
+            "smoke": True,
+        }
+        out = run_candidate(params)
+        direct = gate_candidate(
+            PrecisionConfig.preset("wire32"), baseline, smoke=True
+        )
+        assert out["passed"] and direct.passed
+        assert out["digest"] == result_digest(direct)
+        assert out["report"] == direct.to_dict()
+
+    def test_wire_byte_reduction_presets(self):
+        zero = wire_byte_reduction(PrecisionConfig.preset("all64"))
+        half = wire_byte_reduction(PrecisionConfig.preset("wire32"))
+        assert zero["reduction"] == 0.0
+        assert half["reduction"] == pytest.approx(0.5)
+        assert half["wire_bytes_config"] * 2 == half["wire_bytes_all64"]
+
+
+class TestTunePrecision:
+    def test_smoke_search_converges(self, tmp_path):
+        result = tune_precision(smoke=True, out_dir=tmp_path)
+        assert result["passed"]
+        # non-trivial: pure all32 fails, so something was reverted
+        assert any(not s["passed"] for s in result["trajectory"])
+        assert result["reverted_groups"]
+        # every reverted group is a real leaf
+        names = {g[0] for g in leaf_groups()}
+        assert set(result["reverted_groups"]) <= names
+        # the acceptance criterion: >= 50% of the wire bytes gone
+        assert result["wire"]["reduction"] >= 0.5
+        # the artifact round-trips
+        tuned = load_tuned_config(tmp_path)
+        assert tuned is not None
+        assert tuned.to_dict() == result["tuned"]
+
+    def test_load_tuned_config_absent(self, tmp_path):
+        assert load_tuned_config(tmp_path / "nope") is None
